@@ -1,0 +1,35 @@
+# Convenience targets for the spritefs reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench race experiments section4 section5 clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/stats ./internal/sim ./internal/trace
+
+# One iteration of every table/figure benchmark (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Full-scale regeneration of the paper's evaluation.
+experiments: section4 section5
+
+section4:
+	$(GO) run ./cmd/experiments -exp section4 -hours 24 | tee results_section4.txt
+
+section5:
+	$(GO) run ./cmd/experiments -exp section5 -days 2 | tee results_section5.txt
+
+clean:
+	rm -f results_section4.txt results_section5.txt test_output.txt bench_output.txt

@@ -1,0 +1,213 @@
+// Command cachesim runs the Section 5 counter study (Tables 4-9) and the
+// design-choice what-ifs the paper discusses: the local-disk paging
+// argument of Section 5.3, a fixed-cache-size sweep (the BSD study's
+// prediction of 10% misses at 4 MB versus Sprite's measured ~40%), a
+// writeback-delay sweep (the paper's "longer writeback intervals" future
+// work), and the prefetch question ("prefetching could reduce latencies,
+// but it would not reduce the read miss ratio... server traffic").
+//
+// Usage:
+//
+//	cachesim -days 1                        # Tables 4-9
+//	cachesim -whatif localdisk -days 1
+//	cachesim -whatif cachesize -days 0.5
+//	cachesim -whatif delay -days 0.5
+//	cachesim -whatif prefetch -days 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/cluster"
+	"spritefs/internal/core"
+	"spritefs/internal/netsim"
+	"spritefs/internal/stats"
+	"spritefs/internal/vm"
+	"spritefs/internal/workload"
+)
+
+func main() {
+	var (
+		days   = flag.Float64("days", 1, "simulated days")
+		scale  = flag.Float64("scale", 1.0, "community scale factor")
+		seed   = flag.Int64("seed", 424242, "workload seed")
+		whatif = flag.String("whatif", "", "what-if analysis: localdisk, cachesize, delay, prefetch, consistency")
+	)
+	flag.Parse()
+
+	switch *whatif {
+	case "":
+		r := core.RunCounterStudy(core.CounterOptions{Days: *days, Scale: *scale, Seed: *seed})
+		fmt.Println(core.CounterTables(r))
+	case "localdisk":
+		localDisk(*days, *seed)
+	case "cachesize":
+		cacheSizeSweep(*days, *seed)
+	case "delay":
+		delaySweep(*days, *seed)
+	case "prefetch":
+		prefetchSweep(*days, *seed)
+	case "consistency":
+		consistencyModes(*days, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "cachesim: unknown what-if %q\n", *whatif)
+		os.Exit(2)
+	}
+}
+
+// baseParams mirrors core.RunCounterStudy's workload.
+func baseParams(seed int64) workload.Params {
+	p := workload.Default(seed)
+	p.EmitBackupNoise = false
+	p.BigSimUsers = 1
+	p.SimInputMB = 6
+	p.SimOutputMB = 2
+	return p
+}
+
+func runCluster(cfg cluster.Config, days float64) *cluster.Cluster {
+	cfg.CollectTrace = false
+	c := cluster.New(cfg)
+	c.Run(time.Duration(days * 24 * float64(time.Hour)))
+	return c
+}
+
+// localDisk evaluates Section 5.3's claim: putting backing files on local
+// disks would reduce server traffic by only ~20%, and would *hurt*
+// latency, since a 4 KB network fetch (6-7 ms) beats a 1991 local disk
+// access (20-30 ms).
+func localDisk(days float64, seed int64) {
+	cfg := cluster.DefaultConfig(baseParams(seed))
+	c := runCluster(cfg, days)
+
+	total := c.Net.Total()
+	// Backing-file traffic (heap/stack pages) is the portion a local disk
+	// could absorb; code and initialized-data paging still comes from the
+	// shared executables on the servers.
+	var backing int64
+	for _, cl := range c.Clients {
+		st := cl.VM.Stats()
+		backing += st.BytesIn[vm.PageHeap] + st.BytesOut[vm.PageHeap] +
+			st.BytesIn[vm.PageStack] + st.BytesOut[vm.PageStack]
+	}
+	serverBytes := total.TotalBytes()
+	reduction := stats.Ratio(backing, serverBytes)
+
+	netFetch := netsim.New(netsim.DefaultConfig()).RPC(0, netsim.PagingRead, 4096)
+	const localDiskAccess = 25 * time.Millisecond // 20-30 ms in 1991
+
+	t := stats.NewTable("What-if: backing files on local disks (Section 5.3)", "Metric", "Value", "Paper")
+	t.AddRow("server traffic that is backing-file paging", fmt.Sprintf("%.1f%%", reduction), "~20%")
+	t.AddRow("4KB fetch over network", netFetch.String(), "6-7ms")
+	t.AddRow("4KB fetch from local disk", localDiskAccess.String(), "20-30ms")
+	verdict := "local disks would SLOW paging down"
+	if localDiskAccess < netFetch {
+		verdict = "local disks would speed paging up"
+	}
+	t.AddRow("verdict", verdict, "agrees: \"we disagree\" with local disks")
+	fmt.Println(t)
+}
+
+// cacheSizeSweep pins the client caches at fixed sizes and reports miss
+// ratios — the experiment behind the BSD study's (over-optimistic)
+// prediction that a 4 MB cache would miss only 10% of the time.
+func cacheSizeSweep(days float64, seed int64) {
+	t := stats.NewTable("What-if: fixed cache sizes (BSD-study prediction check)",
+		"Cache size", "File read miss %", "Read miss traffic %", "Server/raw bytes %")
+	for _, mb := range []int{1, 2, 4, 8, 16} {
+		cfg := cluster.DefaultConfig(baseParams(seed))
+		cfg.FixedCachePages = mb << 20 / vm.PageSize
+		c := runCluster(cfg, days)
+		t6 := c.Table6Report()
+		t5 := c.Table5Report()
+		t7 := c.Table7Report()
+		filter := stats.RatioF(float64(t7.TotalBytes), float64(t5.TotalBytes))
+		t.AddRow(fmt.Sprintf("%d MB", mb),
+			fmt.Sprintf("%.1f", t6.All.ReadMissPct),
+			fmt.Sprintf("%.1f", t6.All.ReadMissTrafficPct),
+			fmt.Sprintf("%.1f", filter))
+	}
+	fmt.Println(t)
+	fmt.Println("Paper: the BSD study predicted ~10% misses at 4 MB; Sprite measured ~40%,")
+	fmt.Println("blamed on much larger files. The sweep shows the same large-file floor.")
+}
+
+// delaySweep varies the delayed-write interval — the paper's suggested
+// future direction once reads are fully absorbed ("longer writeback
+// intervals ... will become attractive").
+func delaySweep(days float64, seed int64) {
+	t := stats.NewTable("What-if: writeback delay sweep (Section 6 future work)",
+		"Delay", "Writeback traffic %", "Bytes saved by delete %")
+	for _, d := range []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute, 10 * time.Minute} {
+		cfg := cluster.DefaultConfig(baseParams(seed))
+		cfg.WritebackDelay = d
+		c := runCluster(cfg, days)
+		t6 := c.Table6Report()
+		t.AddRow(d.String(),
+			fmt.Sprintf("%.1f", t6.All.WritebackPct),
+			fmt.Sprintf("%.1f", t6.BytesSavedByDeletePct))
+	}
+	fmt.Println(t)
+	fmt.Println("Paper: 30s lets ~10% of new bytes die in the cache; longer delays save more")
+	fmt.Println("but leave data more vulnerable to client crashes.")
+}
+
+// consistencyModes runs the cluster live under Sprite's perfect
+// consistency and under NFS-style polling — the experiment behind the
+// paper's Table 11, which the authors could only estimate from traces.
+func consistencyModes(days float64, seed int64) {
+	t := stats.NewTable("What-if: live consistency schemes (Table 11, measured directly)",
+		"Scheme", "Stale reads/hour", "Stale KB/hour", "Validation RPCs/hour")
+	hours := days * 24
+	modes := []struct {
+		name     string
+		mode     client.ConsistencyMode
+		interval time.Duration
+	}{
+		{"sprite (perfect)", client.ConsistencySprite, 0},
+		{"poll 60s", client.ConsistencyPoll, 60 * time.Second},
+		{"poll 3s", client.ConsistencyPoll, 3 * time.Second},
+	}
+	for _, m := range modes {
+		p := baseParams(seed)
+		p.AwaySessionProb = 0.3
+		p.SharedReadSoonP = 0.9
+		cfg := cluster.DefaultConfig(p)
+		cfg.Consistency = m.mode
+		cfg.PollInterval = m.interval
+		c := runCluster(cfg, days)
+		st := c.LiveStaleReport()
+		t.AddRow(m.name,
+			fmt.Sprintf("%.1f", float64(st.StaleReads)/hours),
+			fmt.Sprintf("%.1f", float64(st.StaleBytes)/1024/hours),
+			fmt.Sprintf("%.0f", float64(st.PollRPCs)/hours))
+	}
+	fmt.Println(t)
+	fmt.Println("Paper (trace-driven estimate): 18 errors/hour at 60s, ~0.6 at 3s; Sprite: zero")
+	fmt.Println("by construction. The live run measures the same cliff directly.")
+}
+
+// prefetchSweep verifies the paper's §5.2 claim that prefetching cannot
+// reduce read-related server traffic (only latency).
+func prefetchSweep(days float64, seed int64) {
+	t := stats.NewTable("What-if: sequential prefetch (Section 5.2 claim check)",
+		"Prefetch blocks", "File read miss %", "Read miss traffic %", "Server read MB")
+	for _, n := range []int{0, 2, 8} {
+		cfg := cluster.DefaultConfig(baseParams(seed))
+		cfg.PrefetchBlocks = n
+		c := runCluster(cfg, days)
+		t6 := c.Table6Report()
+		total := c.Net.Total()
+		t.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.1f", t6.All.ReadMissPct),
+			fmt.Sprintf("%.1f", t6.All.ReadMissTrafficPct),
+			fmt.Sprintf("%.0f", float64(total.Bytes[netsim.FileRead]+total.Bytes[netsim.PagingRead])/(1<<20)))
+	}
+	fmt.Println(t)
+	fmt.Println("Paper: \"prefetching could reduce latencies, but it would not reduce the")
+	fmt.Println("read miss ratio['s] ... server traffic\" — miss ops fall, bytes do not.")
+}

@@ -1,0 +1,123 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them side by side with the published values. It is
+// the tool behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -exp section4 -traces 1,2 -hours 4 -scale 0.5
+//	experiments -exp section5 -days 1 -scale 0.5
+//	experiments -exp all -hours 24 -days 14        # full-scale, slow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"spritefs/internal/core"
+	"spritefs/internal/stats"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, section4, section5")
+		traces = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
+		hours  = flag.Float64("hours", 24, "simulated hours per trace")
+		days   = flag.Float64("days", 14, "simulated days for the counter study")
+		scale  = flag.Float64("scale", 1.0, "community scale factor (1.0 = 40 clients)")
+		seed   = flag.Int64("seed", 0, "seed offset")
+		cdfDir = flag.String("cdfdir", "", "write the Figure 1-4 CDF series as TSV files into this directory")
+	)
+	flag.Parse()
+
+	if *exp == "all" || *exp == "section4" {
+		nums, err := parseTraces(*traces)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		var results []*core.TraceResult
+		for _, n := range nums {
+			fmt.Fprintf(os.Stderr, "running trace %d (%.1fh, scale %.2f)...\n", n, *hours, *scale)
+			r, err := core.RunTrace(n, core.TraceOptions{Hours: *hours, Scale: *scale, SeedOffset: *seed})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "  %d records\n", r.Records)
+			results = append(results, r)
+		}
+		fmt.Println(core.TraceReport(results))
+		if *cdfDir != "" {
+			if err := writeCDFs(*cdfDir, results); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *exp == "all" || *exp == "section5" {
+		fmt.Fprintf(os.Stderr, "running counter study (%.1f days, scale %.2f)...\n", *days, *scale)
+		r := core.RunCounterStudy(core.CounterOptions{Days: *days, Scale: *scale, Seed: *seed})
+		fmt.Println(core.CounterTables(r))
+	}
+}
+
+// writeCDFs dumps the Figure 1-4 cumulative distributions as TSV series,
+// one file per (figure, weighting, trace), ready for gnuplot:
+//
+//	fig1-runs.t3.tsv   fig1-bytes.t3.tsv   fig2-files.t3.tsv ...
+func writeCDFs(dir string, results []*core.TraceResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		series := map[string]*stats.Hist{
+			"fig1-runs":  r.Access.RunsByCount,
+			"fig1-bytes": r.Access.RunsByBytes,
+			"fig2-files": r.Access.SizeByFiles,
+			"fig2-bytes": r.Access.SizeByBytes,
+			"fig3-opens": r.Access.OpenTimes,
+			"fig4-files": r.Lifetime.ByFiles,
+			"fig4-bytes": r.Lifetime.ByBytes,
+		}
+		for name, h := range series {
+			path := filepath.Join(dir, fmt.Sprintf("%s.t%d.tsv", name, r.TraceNum))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(f, "# %s trace %d: x, cumulative fraction\n", name, r.TraceNum)
+			for _, p := range h.CDF() {
+				fmt.Fprintf(f, "%g\t%.5f\n", p.X, p.Frac)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote CDF series for %d traces to %s\n", len(results), dir)
+	return nil
+}
+
+func parseTraces(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 || n > 8 {
+			return nil, fmt.Errorf("bad trace number %q (want 1-8)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no traces selected")
+	}
+	return out, nil
+}

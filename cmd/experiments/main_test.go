@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseTraces(t *testing.T) {
+	got, err := parseTraces("1, 3,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 8 {
+		t.Errorf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "0", "9", "x", "1,,y"} {
+		if _, err := parseTraces(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Trailing commas and spaces are tolerated.
+	got, err = parseTraces("2,")
+	if err != nil || len(got) != 1 || got[0] != 2 {
+		t.Errorf("trailing comma: %v %v", got, err)
+	}
+}

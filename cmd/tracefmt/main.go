@@ -1,0 +1,79 @@
+// Command tracefmt converts traces between the binary and text formats:
+// binary traces (from cmd/tracegen) become grep/awk-able text, and edited
+// text traces can be re-encoded for the analyzers.
+//
+// Usage:
+//
+//	tracefmt trace1.srv0 > trace1.srv0.txt         # binary -> text
+//	tracefmt -encode trace1.srv0.txt > trace1.bin  # text -> binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spritefs/internal/trace"
+)
+
+func main() {
+	encode := flag.Bool("encode", false, "encode text input back to binary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracefmt [-encode] tracefile")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *encode); err != nil {
+		fmt.Fprintln(os.Stderr, "tracefmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, encode bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var src trace.Stream
+	var sink interface {
+		Write(*trace.Record) error
+		Flush() error
+	}
+	if encode {
+		r, err := trace.NewTextReader(f)
+		if err != nil {
+			return err
+		}
+		w, err := trace.NewWriter(os.Stdout)
+		if err != nil {
+			return err
+		}
+		src, sink = r, w
+	} else {
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		w, err := trace.NewTextWriter(os.Stdout)
+		if err != nil {
+			return err
+		}
+		src, sink = r, w
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := sink.Write(&rec); err != nil {
+			return err
+		}
+	}
+	return sink.Flush()
+}

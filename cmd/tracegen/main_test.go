@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spritefs/internal/trace"
+)
+
+func TestTracegenWritesReadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 0.02, dir, 2); err != nil { // ~72 simulated seconds
+		t.Fatal(err)
+	}
+	var total int
+	for srv := 0; srv < 2; srv++ {
+		path := filepath.Join(dir, "trace1.srv"+string(rune('0'+srv)))
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		recs, err := trace.Collect(r)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for i := range recs {
+			if recs[i].Server != int16(srv) {
+				t.Fatalf("%s holds record for server %d", path, recs[i].Server)
+			}
+		}
+		total += len(recs)
+	}
+	if total == 0 {
+		t.Fatal("no records written")
+	}
+}
+
+func TestTracegenRejectsBadTrace(t *testing.T) {
+	if err := run(0, 1, t.TempDir(), 1); err == nil {
+		t.Error("trace 0 accepted")
+	}
+	if err := run(9, 1, t.TempDir(), 1); err == nil {
+		t.Error("trace 9 accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// bsd-1985 measures the paper's headline claim instead of citing it: file
+// throughput per active user grew by a factor of ~20 between the 1985 BSD
+// study (0.40 KB/s over 10-minute intervals, VAX time-sharing) and the
+// 1991 Sprite cluster (8.0 KB/s, personal workstations).
+//
+// The example runs a 1985-style community — a few 1-MIPS time-shared
+// machines, 1985-sized files, no migration — and the 1991 community
+// through the same Table 2 analysis and prints the growth factor.
+//
+//	go run ./examples/bsd-1985
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spritefs/internal/analysis"
+	"spritefs/internal/cluster"
+	"spritefs/internal/trace"
+	"spritefs/internal/workload"
+)
+
+func measure(name string, p workload.Params, hours float64) *analysis.UserActivity {
+	cfg := cluster.DefaultConfig(p)
+	cfg.NumServers = 2
+	cfg.SamplePeriod = 0
+	c := cluster.New(cfg)
+	fmt.Printf("running the %s community (%d machines, %d+%d users, %.0f simulated hours)...\n",
+		name, p.NumClients, p.DailyUsers, p.OccasionalUsers, hours)
+	c.Run(time.Duration(hours * float64(time.Hour)))
+	ua := analysis.NewUserActivity()
+	if err := analysis.Run(trace.Merge(c.PerServerStreams()...), ua); err != nil {
+		log.Fatal(err)
+	}
+	return ua
+}
+
+func main() {
+	const hours = 6
+
+	p91 := workload.Default(1985)
+	p91.NumClients, p91.DailyUsers, p91.OccasionalUsers = 16, 12, 12
+	sprite := measure("1991 Sprite", p91, hours)
+
+	p85 := workload.BSD1985(1985)
+	p85.DailyUsers, p85.OccasionalUsers = 12, 12
+	bsd := measure("1985 BSD", p85, hours)
+
+	fmt.Println("\nThroughput per active user, 10-minute intervals (Table 2's metric):")
+	fmt.Printf("  1991 Sprite workstations:  %6.2f KB/s   (paper: 8.0)\n", sprite.TenMinAll.AvgThroughputKBs)
+	fmt.Printf("  1985 BSD time-sharing:     %6.2f KB/s   (BSD study: 0.40)\n", bsd.TenMinAll.AvgThroughputKBs)
+	if b := bsd.TenMinAll.AvgThroughputKBs; b > 0 {
+		fmt.Printf("  growth factor:             %6.1fx       (paper: ~20x)\n",
+			sprite.TenMinAll.AvgThroughputKBs/b)
+	}
+	fmt.Println("  (this is a reduced-scale run; the full 40-client campaign measures")
+	fmt.Println("   8.2 KB/s for 1991 — see EXPERIMENTS.md — giving the paper's ~20x)")
+
+	fmt.Println("\n10-second burst view:")
+	fmt.Printf("  1991: %6.2f KB/s (paper: 47)   1985: %6.2f KB/s (BSD study: 1.5)\n",
+		sprite.TenSecAll.AvgThroughputKBs, bsd.TenSecAll.AvgThroughputKBs)
+
+	fmt.Println("\nThe paper's observation follows: computing power per user grew 200-500x,")
+	fmt.Println("but file throughput only ~20x — users spent the new cycles on latency,")
+	fmt.Println("not on more data. Burstiness, however, exploded (the migration column).")
+}

@@ -1,0 +1,55 @@
+// cache-sizing sweeps fixed client cache sizes over the same workload and
+// prints the miss-ratio curve — the experiment behind one of the paper's
+// sharpest points: the 1985 BSD study predicted ~10% misses for a 4 MB
+// cache, but Sprite measured miss ratios four times higher, because files
+// had grown an order of magnitude in the meantime. The sweep shows the
+// same large-file floor: growing the cache stops helping once the hot
+// small files fit, while multi-megabyte files still blow straight through.
+//
+//	go run ./examples/cache-sizing
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/netsim"
+	"spritefs/internal/vm"
+	"spritefs/internal/workload"
+)
+
+func main() {
+	fmt.Println("sweeping fixed cache sizes over an identical 2-hour workload...")
+	fmt.Printf("\n%10s  %18s  %20s  %16s\n", "cache", "file read miss %", "miss traffic (bytes%)", "server read MB")
+
+	for _, mb := range []int{1, 2, 4, 8, 16} {
+		p := workload.Default(31)
+		p.NumClients = 10
+		p.DailyUsers = 8
+		p.OccasionalUsers = 6
+		// Include one big-file user so the large-file effect is visible,
+		// as in the paper's measured cluster.
+		p.BigSimUsers = 1
+		p.SimInputMB = 6
+		p.SimOutputMB = 2
+
+		cfg := cluster.DefaultConfig(p)
+		cfg.NumServers = 2
+		cfg.CollectTrace = false
+		cfg.FixedCachePages = mb << 20 / vm.PageSize
+		c := cluster.New(cfg)
+		c.Run(2 * time.Hour)
+
+		t6 := c.Table6Report()
+		total := c.Net.Total()
+		// File-read traffic only: pinning a huge cache also starves the
+		// VM system and inflates paging, which is its own lesson.
+		serverReadMB := float64(total.Bytes[netsim.FileRead]) / (1 << 20)
+		fmt.Printf("%8d MB  %18.1f  %20.1f  %16.0f\n",
+			mb, t6.All.ReadMissPct, t6.All.ReadMissTrafficPct, serverReadMB)
+	}
+
+	fmt.Println("\nThe BSD study's prediction (10% at 4 MB) assumed 1985-sized files; with")
+	fmt.Println("1991-sized files the curve flattens well above it — the paper's Section 5.2.")
+}

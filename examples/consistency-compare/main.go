@@ -1,0 +1,63 @@
+// consistency-compare reproduces the Sections 5.5-5.6 argument in one
+// sitting: generate a sharing-heavy trace, show how many stale-data
+// errors an NFS-style polling scheme would produce (Table 11), and
+// compare the overheads of the three consistency algorithms on the
+// write-shared accesses (Table 12).
+//
+//	go run ./examples/consistency-compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/consistency"
+	"spritefs/internal/trace"
+	"spritefs/internal/workload"
+)
+
+func main() {
+	// A sharing-heavy community: everyone tails the group logs.
+	p := workload.Default(1234)
+	p.NumClients = 12
+	p.DailyUsers = 8
+	p.OccasionalUsers = 6
+	p.SharedReadSoonP = 0.95
+	for g := workload.Group(0); g < workload.NumGroups; g++ {
+		p.AppMix[g][workload.AppSharedLog] *= 4
+	}
+
+	cfg := cluster.DefaultConfig(p)
+	cfg.NumServers = 2
+	c := cluster.New(cfg)
+	fmt.Println("running a sharing-heavy community for 4 simulated hours...")
+	c.Run(4 * time.Hour)
+
+	recs, err := trace.Collect(trace.Merge(c.PerServerStreams()...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared := consistency.CollectShared(recs)
+	fmt.Printf("%d shared-file events among %d total opens\n\n", len(shared.Events), shared.TotalOpens)
+
+	// --- Table 11: what would NFS-style polling cost? ---
+	fmt.Println("Stale-data errors under polling consistency (Table 11):")
+	for _, interval := range []time.Duration{60 * time.Second, 3 * time.Second} {
+		r := consistency.SimulateStale(shared, interval)
+		fmt.Printf("  %3v window: %5.1f errors/hour, %4.1f%% of users affected, %.3f%% of opens hit stale data\n",
+			interval, r.ErrorsPerHour, r.PctUsersAffected(), r.PctOpensWithError())
+	}
+	fmt.Println("  (Sprite eliminates every one of these by construction.)")
+
+	// --- Table 12: is a cleverer mechanism worth it? ---
+	o := consistency.SimulateOverhead(shared)
+	fmt.Println("\nConsistency overheads on write-shared accesses (Table 12):")
+	fmt.Printf("  %-16s %12s %12s\n", "algorithm", "byte ratio", "RPC ratio")
+	for a := 0; a < consistency.NumAlgs; a++ {
+		fmt.Printf("  %-16s %12.3f %12.3f\n", consistency.AlgNames[a], o.ByteRatio(a), o.RPCRatio(a))
+	}
+	fmt.Println("\nThe paper's conclusion holds: the mechanisms are comparable, sharing is")
+	fmt.Println("rare (~1% of traffic), so pick the simplest one — which Sprite did.")
+}

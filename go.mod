@@ -1,0 +1,3 @@
+module spritefs
+
+go 1.22

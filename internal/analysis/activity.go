@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"time"
+
+	"spritefs/internal/stats"
+	"spritefs/internal/trace"
+)
+
+// ActivityRow is one column-group of Table 2 for one interval width.
+type ActivityRow struct {
+	AvgActiveUsers float64
+	SDActiveUsers  float64
+	MaxActiveUsers int
+	// Per-active-user throughput in Kbytes/second averaged over
+	// user-intervals, with the standard deviation across user-intervals.
+	AvgThroughputKBs float64
+	SDThroughputKBs  float64
+	PeakUserKBs      float64
+	PeakTotalKBs     float64
+}
+
+// UserActivity reproduces Table 2: the traces are divided into 10-minute
+// and 10-second intervals; a user is active in an interval if any trace
+// record appeared for them, and throughput is the bytes they transferred.
+// The Migrated rows consider only activity from migrated processes.
+type UserActivity struct {
+	TenMinAll      ActivityRow
+	TenMinMigrated ActivityRow
+	TenSecAll      ActivityRow
+	TenSecMigrated ActivityRow
+
+	aggs [4]*stats.IntervalAgg
+}
+
+// Interval widths used by the paper.
+const (
+	LongInterval  = 10 * time.Minute
+	ShortInterval = 10 * time.Second
+)
+
+// NewUserActivity returns a Table 2 analyzer.
+func NewUserActivity() *UserActivity {
+	return &UserActivity{aggs: [4]*stats.IntervalAgg{
+		stats.NewIntervalAgg(LongInterval),
+		stats.NewIntervalAgg(LongInterval),
+		stats.NewIntervalAgg(ShortInterval),
+		stats.NewIntervalAgg(ShortInterval),
+	}}
+}
+
+// Observe implements Sink.
+func (u *UserActivity) Observe(r *trace.Record) {
+	var bytes int64
+	switch r.Kind {
+	case trace.KindRead, trace.KindWrite, trace.KindDirRead:
+		bytes = r.Length
+	}
+	key := int(r.User)
+	u.aggs[0].Add(r.Time, key, float64(bytes))
+	u.aggs[2].Add(r.Time, key, float64(bytes))
+	if r.IsMigrated() {
+		u.aggs[1].Add(r.Time, key, float64(bytes))
+		u.aggs[3].Add(r.Time, key, float64(bytes))
+	}
+}
+
+// Finish implements Sink.
+func (u *UserActivity) Finish() {
+	rows := [4]*ActivityRow{&u.TenMinAll, &u.TenMinMigrated, &u.TenSecAll, &u.TenSecMigrated}
+	for i, agg := range u.aggs {
+		s := agg.Summarize()
+		secs := agg.Width().Seconds()
+		row := rows[i]
+		row.AvgActiveUsers = s.ActiveUsers.Mean()
+		row.SDActiveUsers = s.ActiveUsers.Stddev()
+		row.MaxActiveUsers = s.MaxActive
+		row.AvgThroughputKBs = s.PerUser.Mean() / 1024 / secs
+		row.SDThroughputKBs = s.PerUser.Stddev() / 1024 / secs
+		row.PeakUserKBs = s.PeakUser / 1024 / secs
+		row.PeakTotalKBs = s.PeakTotal / 1024 / secs
+	}
+}

@@ -1,0 +1,46 @@
+// Package analysis recomputes every Section 4 table and figure of the
+// paper from a merged trace stream: overall trace statistics (Table 1),
+// user activity over 10-minute and 10-second intervals (Table 2), file
+// access patterns (Table 3), sequential run lengths (Figure 1), dynamic
+// file sizes (Figure 2), open durations (Figure 3), and file lifetimes
+// (Figure 4). It also recomputes the trace-derived consistency action
+// frequencies (Table 10) so the live cluster's server counters can be
+// cross-checked against the trace.
+//
+// Analyzers implement Sink and are driven in a single pass over the
+// stream by Run, exactly how the paper's post-processing scanned its
+// trace files.
+package analysis
+
+import (
+	"io"
+
+	"spritefs/internal/trace"
+)
+
+// Sink consumes trace records one at a time. Finish is called once after
+// the last record so handle-tracking analyzers can close out state.
+type Sink interface {
+	Observe(r *trace.Record)
+	Finish()
+}
+
+// Run drives every sink over the stream in one pass.
+func Run(s trace.Stream, sinks ...Sink) error {
+	for {
+		r, err := s.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		for _, sink := range sinks {
+			sink.Observe(&r)
+		}
+	}
+	for _, sink := range sinks {
+		sink.Finish()
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// script builds trace records tersely for tests. Per-handle user, client
+// and file are propagated onto every subsequent record for the handle.
+type script struct {
+	recs   []trace.Record
+	handle uint64
+	opens  map[uint64]trace.Record
+}
+
+func (s *script) add(r trace.Record) { s.recs = append(s.recs, r) }
+
+// open appends an open record and returns the handle.
+func (s *script) open(t time.Duration, user, client int32, file uint64, read, write bool) uint64 {
+	if s.opens == nil {
+		s.opens = make(map[uint64]trace.Record)
+	}
+	s.handle++
+	var flags uint8
+	if read {
+		flags |= trace.FlagReadMode
+	}
+	if write {
+		flags |= trace.FlagWriteMode
+	}
+	rec := trace.Record{Time: t, Kind: trace.KindOpen, User: user, Client: client, File: file, Handle: s.handle, Flags: flags}
+	s.opens[s.handle] = rec
+	s.add(rec)
+	return s.handle
+}
+
+func (s *script) onHandle(t time.Duration, h uint64, kind trace.Kind) trace.Record {
+	o := s.opens[h]
+	return trace.Record{Time: t, Kind: kind, User: o.User, Client: o.Client, File: o.File, Handle: h}
+}
+
+func (s *script) read(t time.Duration, h uint64, off, n int64) {
+	r := s.onHandle(t, h, trace.KindRead)
+	r.Offset, r.Length = off, n
+	s.add(r)
+}
+
+func (s *script) write(t time.Duration, h uint64, off, n int64) {
+	r := s.onHandle(t, h, trace.KindWrite)
+	r.Offset, r.Length = off, n
+	s.add(r)
+}
+
+func (s *script) seek(t time.Duration, h uint64, pos int64) {
+	r := s.onHandle(t, h, trace.KindReposition)
+	r.Offset = pos
+	s.add(r)
+}
+
+func (s *script) close(t time.Duration, h uint64, size int64) {
+	r := s.onHandle(t, h, trace.KindClose)
+	r.Size = size
+	r.Flags = s.opens[h].Flags // preserve the open's mode flags
+	s.add(r)
+}
+
+func run(t *testing.T, recs []trace.Record, sinks ...Sink) {
+	t.Helper()
+	if err := Run(trace.NewSliceStream(recs), sinks...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverallCounts(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(2*time.Second, h, 0, 1<<20)
+	s.close(3*time.Second, h, 1<<20)
+	h2 := s.open(4*time.Second, 2, 1, 11, false, true)
+	s.write(5*time.Second, h2, 0, 2<<20)
+	s.close(6*time.Second, h2, 2<<20)
+	s.add(trace.Record{Time: 7 * time.Second, Kind: trace.KindDelete, User: 2, File: 11})
+	s.add(trace.Record{Time: 8 * time.Second, Kind: trace.KindDirRead, User: 1, File: 12, Length: 512, Flags: trace.FlagDirectory})
+	s.add(trace.Record{Time: 9 * time.Second, Kind: trace.KindRead, User: 3, File: 10, Length: 100, Flags: trace.FlagMigrated})
+
+	o := NewOverall()
+	run(t, s.recs, o)
+	if o.Users != 3 || o.MigrationUsers != 1 {
+		t.Errorf("users = %d/%d", o.Users, o.MigrationUsers)
+	}
+	if o.Opens != 2 || o.Closes != 2 || o.Deletes != 1 {
+		t.Errorf("counts: %+v", o)
+	}
+	if math.Abs(o.MBReadFiles-(1+100.0/(1<<20))) > 1e-6 {
+		t.Errorf("MB read = %g", o.MBReadFiles)
+	}
+	if o.MBWrittenFiles != 2 {
+		t.Errorf("MB written = %g", o.MBWrittenFiles)
+	}
+	if math.Abs(o.MBReadDirs-512.0/(1<<20)) > 1e-9 {
+		t.Errorf("MB dirs = %g", o.MBReadDirs)
+	}
+	if o.Duration != 9*time.Second {
+		t.Errorf("duration = %v", o.Duration)
+	}
+}
+
+func TestUserActivityThroughput(t *testing.T) {
+	var s script
+	// One user reads 1 MB at t=1s — a single 10-minute interval, a single
+	// 10-second interval.
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(time.Second+500*time.Millisecond, h, 0, 1<<20)
+	s.close(2*time.Second, h, 1<<20)
+
+	u := NewUserActivity()
+	run(t, s.recs, u)
+	// 1 MB over a 600 s interval = 1.707 KB/s.
+	want := float64(1<<20) / 1024 / 600
+	if math.Abs(u.TenMinAll.AvgThroughputKBs-want) > 1e-9 {
+		t.Errorf("10-min throughput = %g, want %g", u.TenMinAll.AvgThroughputKBs, want)
+	}
+	// 1 MB over a 10 s interval = 102.4 KB/s.
+	want = float64(1<<20) / 1024 / 10
+	if math.Abs(u.TenSecAll.AvgThroughputKBs-want) > 1e-9 {
+		t.Errorf("10-sec throughput = %g, want %g", u.TenSecAll.AvgThroughputKBs, want)
+	}
+	if u.TenMinAll.MaxActiveUsers != 1 || u.TenMinMigrated.MaxActiveUsers != 0 {
+		t.Errorf("active users: %d/%d", u.TenMinAll.MaxActiveUsers, u.TenMinMigrated.MaxActiveUsers)
+	}
+}
+
+func TestUserActivityMigratedBurst(t *testing.T) {
+	var s script
+	// Migrated process moves 4 MB in one 10-second interval.
+	s.add(trace.Record{Time: time.Second, Kind: trace.KindRead, User: 1, File: 1, Length: 4 << 20, Flags: trace.FlagMigrated})
+	u := NewUserActivity()
+	run(t, s.recs, u)
+	if u.TenSecMigrated.PeakUserKBs != 4*1024.0/10 {
+		t.Errorf("migrated peak = %g", u.TenSecMigrated.PeakUserKBs)
+	}
+	if u.TenSecAll.PeakUserKBs != u.TenSecMigrated.PeakUserKBs {
+		t.Error("migrated traffic missing from All")
+	}
+}
+
+func TestAccessPatternsWholeFileRead(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(time.Second+10*time.Millisecond, h, 0, 4096)
+	s.read(time.Second+20*time.Millisecond, h, 4096, 4096)
+	s.close(time.Second+30*time.Millisecond, h, 8192)
+
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.Counts[ReadOnly][WholeFile] != 1 {
+		t.Errorf("counts = %+v", a.Counts)
+	}
+	accPct, bytePct := a.ClassPct(ReadOnly)
+	if accPct != 100 || bytePct != 100 {
+		t.Errorf("class pct = %g/%g", accPct, bytePct)
+	}
+	seqPct, seqByte := a.SeqPct(ReadOnly, WholeFile)
+	if seqPct != 100 || seqByte != 100 {
+		t.Errorf("seq pct = %g/%g", seqPct, seqByte)
+	}
+	// Both reads form ONE sequential run of 8192 bytes.
+	if a.RunsByCount.N() != 1 {
+		t.Errorf("runs = %d, want 1", a.RunsByCount.N())
+	}
+	if q := a.RunsByCount.Quantile(0.99); q < 8192 || q > 8192*1.5 {
+		t.Errorf("run length quantile = %g", q)
+	}
+}
+
+func TestAccessPatternsPartialSequential(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(2*time.Second, h, 0, 1000) // file is 8192: not whole
+	s.close(3*time.Second, h, 8192)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.Counts[ReadOnly][OtherSeq] != 1 {
+		t.Errorf("counts = %+v", a.Counts)
+	}
+}
+
+func TestAccessPatternsRandom(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(2*time.Second, h, 4096, 100)
+	s.seek(3*time.Second, h, 0)
+	s.read(4*time.Second, h, 0, 100)
+	s.close(5*time.Second, h, 8192)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.Counts[ReadOnly][Random] != 1 {
+		t.Errorf("counts = %+v", a.Counts)
+	}
+	// The two runs enter the run-length distribution separately.
+	if a.RunsByCount.N() != 2 {
+		t.Errorf("runs = %d", a.RunsByCount.N())
+	}
+}
+
+func TestAccessPatternsReadWriteClass(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, true)
+	s.read(2*time.Second, h, 0, 4096)
+	s.write(3*time.Second, h, 4096, 100)
+	s.close(4*time.Second, h, 4196)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	// Read then write continuing at position 4096: a single sequential
+	// run covering the whole file -> read-write whole-file.
+	if a.Counts[ReadWrite][WholeFile] != 1 {
+		t.Errorf("counts = %+v", a.Counts)
+	}
+}
+
+func TestAccessPatternsWriteOnlyCreate(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, false, true)
+	s.write(2*time.Second, h, 0, 10000)
+	s.close(3*time.Second, h, 10000)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.Counts[WriteOnly][WholeFile] != 1 {
+		t.Errorf("counts = %+v", a.Counts)
+	}
+}
+
+func TestAccessPatternsZeroByteOpenOnlyInFig3(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.close(time.Second+100*time.Millisecond, h, 4096)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	var totalAccesses int64
+	for c := 0; c < NumClasses; c++ {
+		for q := 0; q < NumSeqs; q++ {
+			totalAccesses += a.Counts[c][q]
+		}
+	}
+	if totalAccesses != 0 {
+		t.Errorf("zero-byte access classified: %d", totalAccesses)
+	}
+	if a.OpenTimes.N() != 1 {
+		t.Errorf("open times = %d", a.OpenTimes.N())
+	}
+	// 100 ms open duration.
+	if f := a.OpenTimes.FracAtOrBelow(0.2); f != 1 {
+		t.Errorf("open time distribution wrong: %g", f)
+	}
+}
+
+func TestAccessPatternsIgnoresDirectories(t *testing.T) {
+	var s script
+	s.add(trace.Record{Time: time.Second, Kind: trace.KindOpen, Handle: 1, File: 5, Flags: trace.FlagDirectory | trace.FlagReadMode})
+	s.add(trace.Record{Time: 2 * time.Second, Kind: trace.KindClose, Handle: 1, File: 5, Flags: trace.FlagDirectory})
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.OpenTimes.N() != 0 {
+		t.Error("directory open counted")
+	}
+}
+
+func TestAccessPatternsUnclosedDiscarded(t *testing.T) {
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(2*time.Second, h, 0, 100)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	var total int64
+	for c := 0; c < NumClasses; c++ {
+		for q := 0; q < NumSeqs; q++ {
+			total += a.Counts[c][q]
+		}
+	}
+	if total != 0 {
+		t.Error("unclosed access classified")
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	var s script
+	// File created at t=0 (oldest byte), last written t=10s, deleted t=20s.
+	// Lifetime by files = ((20-0)+(20-10))/2 = 15 s.
+	s.add(trace.Record{
+		Time: 20 * time.Second, Kind: trace.KindDelete, File: 1,
+		Offset: 0, Length: int64(10 * time.Second), Size: 1000,
+	})
+	l := NewLifetimes()
+	run(t, s.recs, l)
+	if l.Deleted != 1 || l.Live30s != 1 {
+		t.Errorf("deleted=%d live30=%d", l.Deleted, l.Live30s)
+	}
+	if l.PctFilesUnder30s() != 100 {
+		t.Errorf("pct under 30s = %g", l.PctFilesUnder30s())
+	}
+	if got := l.ByFiles.Quantile(0.5); got < 15 || got > 25 {
+		t.Errorf("file lifetime quantile = %g, want ~15", got)
+	}
+	if l.BytesDeleted != 1000 {
+		t.Errorf("bytes deleted = %d", l.BytesDeleted)
+	}
+	// All bytes are between 10 and 20 s old: all under 30 s.
+	if l.PctBytesUnder30s() != 100 {
+		t.Errorf("pct bytes under 30s = %g", l.PctBytesUnder30s())
+	}
+}
+
+func TestLifetimesOldFileBytesSurvive30s(t *testing.T) {
+	var s script
+	// Created at t=0, last write at t=0, deleted at t=100s: everything
+	// is 100 s old.
+	s.add(trace.Record{
+		Time: 100 * time.Second, Kind: trace.KindDelete, File: 1,
+		Offset: 0, Length: 0, Size: 5000,
+	})
+	l := NewLifetimes()
+	run(t, s.recs, l)
+	if l.Live30s != 0 || l.Bytes30s != 0 {
+		t.Errorf("old file counted as young: %d/%d", l.Live30s, l.Bytes30s)
+	}
+}
+
+func TestLifetimesClampsFutureTimestamps(t *testing.T) {
+	var s script
+	s.add(trace.Record{
+		Time: 5 * time.Second, Kind: trace.KindDelete, File: 1,
+		Offset: int64(9 * time.Second), Length: int64(8 * time.Second), Size: 10,
+	})
+	l := NewLifetimes()
+	run(t, s.recs, l)
+	if l.Deleted != 1 {
+		t.Error("record dropped")
+	}
+	// Clamped ages are >= 0; nothing negative may enter the histograms.
+	if l.ByFiles.Total() != 1 {
+		t.Error("file lifetime not recorded")
+	}
+}
+
+func TestConsistencyActionsCWSAndRecall(t *testing.T) {
+	var s script
+	// Recall: client 0 writes and closes; client 1 opens.
+	h := s.open(time.Second, 1, 0, 10, false, true)
+	s.write(2*time.Second, h, 0, 100)
+	s.close(3*time.Second, h, 100)
+	s.recs[len(s.recs)-1].Client = 0
+	h2 := s.open(4*time.Second, 2, 1, 10, true, false)
+	s.recs[len(s.recs)-1].Client = 1
+	s.close(5*time.Second, h2, 100)
+	s.recs[len(s.recs)-1].Client = 1
+
+	// CWS: clients 2 and 3 open file 20 concurrently, 3 writing.
+	h3 := s.open(6*time.Second, 3, 2, 20, true, false)
+	s.recs[len(s.recs)-1].Client = 2
+	h4 := s.open(7*time.Second, 4, 3, 20, false, true)
+	s.recs[len(s.recs)-1].Client = 3
+	s.close(8*time.Second, h3, 0)
+	s.recs[len(s.recs)-1].Client = 2
+	s.close(9*time.Second, h4, 0)
+	s.recs[len(s.recs)-1].Client = 3
+
+	a := NewConsistencyActions()
+	run(t, s.recs, a)
+	if a.FileOpens != 4 {
+		t.Fatalf("opens = %d", a.FileOpens)
+	}
+	if a.Recalls != 1 {
+		t.Errorf("recalls = %d", a.Recalls)
+	}
+	if a.CWS != 1 {
+		t.Errorf("cws = %d", a.CWS)
+	}
+	if a.PctRecalls() != 25 || a.PctCWS() != 25 {
+		t.Errorf("pcts = %g/%g", a.PctRecalls(), a.PctCWS())
+	}
+}
+
+func TestRunPropagatesStreamErrors(t *testing.T) {
+	// A corrupt binary stream must surface its error through Run.
+	bad := trace.Filter(trace.NewSliceStream(nil), func(*trace.Record) bool { return true })
+	if err := Run(bad, NewOverall()); err != nil {
+		t.Errorf("empty stream errored: %v", err)
+	}
+}
+
+func TestUserActivitySDAndPeaks(t *testing.T) {
+	var s script
+	// Two users with different volumes in one 10-second interval.
+	s.add(trace.Record{Time: time.Second, Kind: trace.KindRead, User: 1, File: 1, Length: 100 * 1024})
+	s.add(trace.Record{Time: 2 * time.Second, Kind: trace.KindRead, User: 2, File: 2, Length: 300 * 1024})
+	u := NewUserActivity()
+	run(t, s.recs, u)
+	r := u.TenSecAll
+	if r.AvgThroughputKBs != 20 { // (10+30)/2 KB/s
+		t.Errorf("avg = %g", r.AvgThroughputKBs)
+	}
+	if r.SDThroughputKBs != 10 {
+		t.Errorf("sd = %g", r.SDThroughputKBs)
+	}
+	if r.PeakUserKBs != 30 || r.PeakTotalKBs != 40 {
+		t.Errorf("peaks = %g/%g", r.PeakUserKBs, r.PeakTotalKBs)
+	}
+}
+
+func TestAccessPatternsRepositionToCurrentPosStillBreaksRun(t *testing.T) {
+	// The paper defines runs as bounded by reposition operations, even a
+	// seek to the current position.
+	var s script
+	h := s.open(time.Second, 1, 0, 10, true, false)
+	s.read(2*time.Second, h, 0, 1000)
+	s.seek(3*time.Second, h, 1000) // no-op position, still a boundary
+	s.read(4*time.Second, h, 1000, 1000)
+	s.close(5*time.Second, h, 2000)
+	a := NewAccessPatterns()
+	run(t, s.recs, a)
+	if a.RunsByCount.N() != 2 {
+		t.Errorf("runs = %d, want 2 (reposition is a boundary)", a.RunsByCount.N())
+	}
+	if a.Counts[ReadOnly][Random] != 1 {
+		t.Errorf("counts = %+v, want random", a.Counts)
+	}
+}
+
+func TestLifetimesByteWeightingInterpolates(t *testing.T) {
+	// Oldest byte written at t=0, newest at t=90s, deleted at t=100s:
+	// byte ages run linearly from 100s (offset 0) down to 10s (last byte).
+	var s script
+	s.add(trace.Record{
+		Time: 100 * time.Second, Kind: trace.KindDelete, File: 1,
+		Offset: 0, Length: int64(90 * time.Second), Size: 1000,
+	})
+	l := NewLifetimes()
+	run(t, s.recs, l)
+	// Roughly the first quarter of bytes (ages 10-30s) fall under 30s.
+	pct := l.PctBytesUnder30s()
+	if pct < 10 || pct > 35 {
+		t.Errorf("bytes under 30s = %g%%, want ~20-25%%", pct)
+	}
+	// By files: mean age (100+10)/2 = 55s > 30s.
+	if l.Live30s != 0 {
+		t.Error("file counted as young")
+	}
+}
+
+func TestOverallSharedEventCounts(t *testing.T) {
+	var s script
+	s.add(trace.Record{Time: 1, Kind: trace.KindRead, User: 1, File: 1, Length: 10, Flags: trace.FlagShared})
+	s.add(trace.Record{Time: 2, Kind: trace.KindWrite, User: 1, File: 1, Length: 10, Flags: trace.FlagShared})
+	s.add(trace.Record{Time: 3, Kind: trace.KindRead, User: 1, File: 1, Length: 10})
+	o := NewOverall()
+	run(t, s.recs, o)
+	if o.SharedReads != 1 || o.SharedWrites != 1 {
+		t.Errorf("shared events = %d/%d", o.SharedReads, o.SharedWrites)
+	}
+}

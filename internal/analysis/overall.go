@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// Overall reproduces Table 1: the per-trace summary statistics.
+type Overall struct {
+	Duration       time.Duration
+	Users          int
+	MigrationUsers int
+	MBReadFiles    float64
+	MBWrittenFiles float64
+	MBReadDirs     float64
+	Opens          int64
+	Closes         int64
+	Repositions    int64
+	Deletes        int64
+	Truncates      int64
+	SharedReads    int64
+	SharedWrites   int64
+
+	users    map[int32]bool
+	migUsers map[int32]bool
+}
+
+// NewOverall returns a Table 1 analyzer.
+func NewOverall() *Overall {
+	return &Overall{users: make(map[int32]bool), migUsers: make(map[int32]bool)}
+}
+
+// Observe implements Sink.
+func (o *Overall) Observe(r *trace.Record) {
+	if r.Time > o.Duration {
+		o.Duration = r.Time
+	}
+	o.users[r.User] = true
+	if r.IsMigrated() {
+		o.migUsers[r.User] = true
+	}
+	const mb = 1 << 20
+	switch r.Kind {
+	case trace.KindOpen:
+		o.Opens++
+	case trace.KindClose:
+		o.Closes++
+	case trace.KindReposition:
+		o.Repositions++
+	case trace.KindDelete:
+		o.Deletes++
+	case trace.KindTruncate:
+		o.Truncates++
+	case trace.KindRead:
+		o.MBReadFiles += float64(r.Length) / mb
+		if r.Flags&trace.FlagShared != 0 {
+			o.SharedReads++
+		}
+	case trace.KindWrite:
+		o.MBWrittenFiles += float64(r.Length) / mb
+		if r.Flags&trace.FlagShared != 0 {
+			o.SharedWrites++
+		}
+	case trace.KindDirRead:
+		o.MBReadDirs += float64(r.Length) / mb
+	}
+}
+
+// Finish implements Sink.
+func (o *Overall) Finish() {
+	o.Users = len(o.users)
+	o.MigrationUsers = len(o.migUsers)
+}

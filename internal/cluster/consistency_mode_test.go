@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/workload"
+)
+
+// sharingParams builds a community with plenty of cross-machine sharing.
+func sharingParams(seed int64) workload.Params {
+	p := workload.Default(seed)
+	p.NumClients, p.DailyUsers, p.OccasionalUsers = 8, 6, 4
+	p.EmitBackupNoise = false
+	p.AwaySessionProb = 0.4
+	p.SharedReadSoonP = 0.95
+	for g := workload.Group(0); g < workload.NumGroups; g++ {
+		p.AppMix[g][workload.AppSharedLog] *= 3
+	}
+	return p
+}
+
+func runMode(t *testing.T, mode client.ConsistencyMode, interval time.Duration) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig(sharingParams(4242))
+	cfg.NumServers = 2
+	cfg.CollectTrace = false
+	cfg.Consistency = mode
+	cfg.PollInterval = interval
+	c := New(cfg)
+	c.Run(3 * time.Hour)
+	return c
+}
+
+func TestSpriteModeServesNoStaleData(t *testing.T) {
+	c := runMode(t, client.ConsistencySprite, 0)
+	st := c.LiveStaleReport()
+	if st.StaleReads != 0 {
+		t.Errorf("Sprite served %d stale reads; its guarantee is zero", st.StaleReads)
+	}
+	// And the consistency machinery was actually exercised.
+	t10 := c.Table10Report()
+	if t10.RecallPct == 0 {
+		t.Error("no recalls in a sharing-heavy run")
+	}
+}
+
+func TestPollModeServesStaleData(t *testing.T) {
+	c := runMode(t, client.ConsistencyPoll, 60*time.Second)
+	st := c.LiveStaleReport()
+	if st.StaleReads == 0 {
+		t.Fatal("polling consistency served no stale reads in a sharing-heavy run")
+	}
+	if st.PollRPCs == 0 {
+		t.Error("no validation RPCs issued")
+	}
+}
+
+func TestShorterPollWindowReducesStaleReads(t *testing.T) {
+	long := runMode(t, client.ConsistencyPoll, 60*time.Second)
+	short := runMode(t, client.ConsistencyPoll, 3*time.Second)
+	ls := long.LiveStaleReport()
+	ss := short.LiveStaleReport()
+	if ss.StaleReads >= ls.StaleReads {
+		t.Errorf("3s window served %d stale reads, 60s served %d; expected fewer",
+			ss.StaleReads, ls.StaleReads)
+	}
+	// Tighter polling costs more validation RPCs.
+	if ss.PollRPCs <= ls.PollRPCs {
+		t.Errorf("3s window issued %d poll RPCs, 60s issued %d; expected more",
+			ss.PollRPCs, ls.PollRPCs)
+	}
+}
+
+func TestLiveStaleAgreesWithTraceEstimateInMagnitude(t *testing.T) {
+	// The live run and the paper's trace-driven method should land within
+	// an order of magnitude of each other (both count potential stale
+	// uses under a 60-second window).
+	c := runMode(t, client.ConsistencyPoll, 60*time.Second)
+	st := c.LiveStaleReport()
+	perHour := float64(st.StaleReads) / 3.0
+	if perHour <= 0 || perHour > 2000 {
+		t.Errorf("live stale reads/hour = %.1f, implausible", perHour)
+	}
+}

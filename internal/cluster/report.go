@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"time"
+
+	"spritefs/internal/fscache"
+	"spritefs/internal/netsim"
+	"spritefs/internal/stats"
+	"spritefs/internal/vm"
+)
+
+// This file computes the Section 5 tables from the cluster's kernel
+// counters, mirroring the paper's post-processing of the two-week counter
+// files.
+
+// Table4 is the client cache size study.
+type Table4 struct {
+	AvgSizeKB float64 // average cache size over active machine-intervals
+	SDSizeKB  float64 // standard deviation over 15-minute intervals
+	MaxSizeKB float64
+	// Cache size change (max-min within an interval), 15- and 60-minute.
+	Change15MaxKB, Change15AvgKB, Change15SDKB float64
+	Change60MaxKB, Change60AvgKB, Change60SDKB float64
+	ActiveIntervals15                          int64
+}
+
+// Table4Report aggregates the sampler's observations. Only intervals in
+// which a machine was active are included, and the first interval after a
+// client's cold start is screened out, as in the paper.
+func (c *Cluster) Table4Report() Table4 {
+	var t Table4
+	sizes15, ch15 := c.intervalChanges(15 * time.Minute)
+	_, ch60 := c.intervalChanges(60 * time.Minute)
+
+	var sizeW, c15, c60 stats.Welford
+	for _, s := range sizes15 {
+		sizeW.Add(s / 1024)
+	}
+	for _, v := range ch15 {
+		c15.Add(v / 1024)
+	}
+	for _, v := range ch60 {
+		c60.Add(v / 1024)
+	}
+	t.AvgSizeKB = sizeW.Mean()
+	t.SDSizeKB = sizeW.Stddev()
+	t.MaxSizeKB = sizeW.Max()
+	t.Change15MaxKB, t.Change15AvgKB, t.Change15SDKB = c15.Max(), c15.Mean(), c15.Stddev()
+	t.Change60MaxKB, t.Change60AvgKB, t.Change60SDKB = c60.Max(), c60.Mean(), c60.Stddev()
+	t.ActiveIntervals15 = sizeW.N()
+	return t
+}
+
+// intervalChanges buckets samples into fixed windows per client and
+// returns the mean size and the size change of each active window.
+func (c *Cluster) intervalChanges(width time.Duration) (sizes, changes []float64) {
+	type key struct {
+		client int32
+		win    int64
+	}
+	type agg struct {
+		min, max, sum float64
+		n             int
+		active        bool
+	}
+	wins := make(map[key]*agg)
+	for _, s := range c.samples {
+		k := key{s.Client, int64(s.Time / width)}
+		a := wins[k]
+		if a == nil {
+			a = &agg{min: float64(s.CacheSize), max: float64(s.CacheSize)}
+			wins[k] = a
+		}
+		v := float64(s.CacheSize)
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+		a.sum += v
+		a.n++
+		if s.Active {
+			a.active = true
+		}
+	}
+	for k, a := range wins {
+		// Screen out the cold-start window (window 0 always begins at the
+		// minimum size and "almost always grows immediately").
+		if !a.active || k.win == 0 {
+			continue
+		}
+		sizes = append(sizes, a.sum/float64(a.n))
+		changes = append(changes, a.max-a.min)
+	}
+	return sizes, changes
+}
+
+// Table5 is the raw traffic-source breakdown: percentages of all bytes
+// presented by applications to the client operating systems, before any
+// cache filtering.
+type Table5 struct {
+	FileReadPct            float64 // cacheable file reads
+	FileWritePct           float64
+	PagingCacheableReadPct float64 // code and initialized-data faults
+	PagingBackingReadPct   float64
+	PagingBackingWritePct  float64
+	SharedReadPct          float64 // uncacheable write-shared pass-through
+	SharedWritePct         float64
+	DirReadPct             float64
+	PagingPct              float64 // all paging classes combined
+	UncacheablePct         float64
+	TotalBytes             int64
+}
+
+// Table5Report sums the per-client application-level traffic.
+func (c *Cluster) Table5Report() Table5 {
+	var fileRead, fileWrite, pagingCache, backIn, backOut, shR, shW, dirB int64
+	for _, cl := range c.Clients {
+		st := cl.Cache.Stats()
+		fileRead += st.All.BytesRead - st.All.PagingBytesRead
+		fileWrite += st.All.BytesWritten
+		pagingCache += st.All.PagingBytesRead
+		vmst := cl.VM.Stats()
+		backIn += vmst.BytesIn[vm.PageHeap] + vmst.BytesIn[vm.PageStack]
+		backOut += vmst.BytesOut[vm.PageHeap] + vmst.BytesOut[vm.PageStack]
+		r, w, d := cl.SharedBytes()
+		shR += r
+		shW += w
+		dirB += d
+	}
+	total := fileRead + fileWrite + pagingCache + backIn + backOut + shR + shW + dirB
+	var t Table5
+	t.TotalBytes = total
+	if total == 0 {
+		return t
+	}
+	pct := func(n int64) float64 { return 100 * float64(n) / float64(total) }
+	t.FileReadPct = pct(fileRead)
+	t.FileWritePct = pct(fileWrite)
+	t.PagingCacheableReadPct = pct(pagingCache)
+	t.PagingBackingReadPct = pct(backIn)
+	t.PagingBackingWritePct = pct(backOut)
+	t.SharedReadPct = pct(shR)
+	t.SharedWritePct = pct(shW)
+	t.DirReadPct = pct(dirB)
+	t.PagingPct = t.PagingCacheableReadPct + t.PagingBackingReadPct + t.PagingBackingWritePct
+	t.UncacheablePct = t.PagingBackingReadPct + t.PagingBackingWritePct +
+		t.SharedReadPct + t.SharedWritePct + t.DirReadPct
+	return t
+}
+
+// Table6Col is one column of the cache-effectiveness table.
+type Table6Col struct {
+	ReadMissPct        float64 // cache read ops not satisfied in the cache
+	ReadMissTrafficPct float64 // bytes fetched / bytes read by apps
+	WritebackPct       float64 // bytes written back / bytes written
+	WriteFetchPct      float64 // write ops needing a block fetch
+	PagingReadMissPct  float64
+	// Standard deviations of the per-machine values.
+	SDReadMissPct, SDReadMissTrafficPct, SDWritebackPct float64
+}
+
+// Table6 is client cache effectiveness, for all traffic and for migrated
+// processes only.
+type Table6 struct {
+	All      Table6Col
+	Migrated Table6Col
+	// BytesSavedByDeletePct: share of written bytes that died in the cache.
+	BytesSavedByDeletePct float64
+}
+
+// Table6Report aggregates the cache counters across clients.
+func (c *Cluster) Table6Report() Table6 {
+	var all, mig fscache.OpStats
+	var wbAll, savedAll, writtenAll int64
+	var perMachineMiss, perMachineTraffic, perMachineWB stats.Welford
+	for _, cl := range c.Clients {
+		st := cl.Cache.Stats()
+		addOps(&all, &st.All)
+		addOps(&mig, &st.Migrated)
+		wbAll += st.BytesWrittenBack
+		savedAll += st.BytesSavedByDelete
+		writtenAll += st.All.BytesWritten
+		if st.All.ReadOps > 0 {
+			perMachineMiss.Add(stats.Ratio(st.All.ReadMisses, st.All.ReadOps))
+		}
+		if st.All.BytesRead > 0 {
+			perMachineTraffic.Add(stats.Ratio(st.All.BytesReadMissed, st.All.BytesRead))
+		}
+		if st.All.BytesWritten > 0 {
+			perMachineWB.Add(stats.Ratio(st.BytesWrittenBack, st.All.BytesWritten))
+		}
+	}
+	// File rows exclude paging, which gets its own row — as in the paper,
+	// where "file read misses" and "paging read misses" are separate.
+	col := func(o *fscache.OpStats) Table6Col {
+		return Table6Col{
+			ReadMissPct:        stats.Ratio(o.ReadMisses-o.PagingReadMiss, o.ReadOps-o.PagingReadOps),
+			ReadMissTrafficPct: stats.Ratio(o.BytesReadMissed-o.PagingBytesMiss, o.BytesRead-o.PagingBytesRead),
+			WriteFetchPct:      stats.Ratio(o.WriteFetches, o.WriteOps),
+			PagingReadMissPct:  stats.Ratio(o.PagingReadMiss, o.PagingReadOps),
+		}
+	}
+	t := Table6{All: col(&all), Migrated: col(&mig)}
+	t.All.WritebackPct = stats.Ratio(wbAll, writtenAll)
+	t.All.SDReadMissPct = perMachineMiss.Stddev()
+	t.All.SDReadMissTrafficPct = perMachineTraffic.Stddev()
+	t.All.SDWritebackPct = perMachineWB.Stddev()
+	t.BytesSavedByDeletePct = stats.Ratio(savedAll, writtenAll)
+	return t
+}
+
+func addOps(dst, src *fscache.OpStats) {
+	dst.ReadOps += src.ReadOps
+	dst.ReadMisses += src.ReadMisses
+	dst.BytesRead += src.BytesRead
+	dst.BytesReadMissed += src.BytesReadMissed
+	dst.WriteOps += src.WriteOps
+	dst.WriteFetches += src.WriteFetches
+	dst.BytesWritten += src.BytesWritten
+	dst.PagingReadOps += src.PagingReadOps
+	dst.PagingReadMiss += src.PagingReadMiss
+	dst.PagingBytesRead += src.PagingBytesRead
+	dst.PagingBytesMiss += src.PagingBytesMiss
+}
+
+// Table7 is the client-to-server (network) traffic breakdown.
+type Table7 struct {
+	ClassPct       [netsim.NumClasses]float64
+	PagingPct      float64
+	SharedPct      float64
+	ReadPct        float64 // server-to-client share of bytes
+	WritePct       float64
+	ReadWriteRatio float64 // non-paging read:write byte ratio
+	TotalBytes     int64
+}
+
+// Table7Report reads the network accounting.
+func (c *Cluster) Table7Report() Table7 {
+	total := c.Net.Total()
+	var t Table7
+	t.TotalBytes = total.TotalBytes()
+	if t.TotalBytes == 0 {
+		return t
+	}
+	for cl := netsim.Class(0); cl < netsim.NumClasses; cl++ {
+		t.ClassPct[cl] = 100 * float64(total.Bytes[cl]) / float64(t.TotalBytes)
+	}
+	t.PagingPct = t.ClassPct[netsim.PagingRead] + t.ClassPct[netsim.PagingWrite]
+	t.SharedPct = t.ClassPct[netsim.SharedRead] + t.ClassPct[netsim.SharedWrite]
+	t.ReadPct = 100 * float64(total.ReadBytes()) / float64(t.TotalBytes)
+	t.WritePct = 100 - t.ReadPct
+	nonPagingRead := total.Bytes[netsim.FileRead] + total.Bytes[netsim.SharedRead] + total.Bytes[netsim.DirRead]
+	nonPagingWrite := total.Bytes[netsim.FileWrite] + total.Bytes[netsim.SharedWrite]
+	if nonPagingWrite > 0 {
+		t.ReadWriteRatio = float64(nonPagingRead) / float64(nonPagingWrite)
+	}
+	return t
+}
+
+// Table8 is cache block replacement.
+type Table8 struct {
+	FilePct   float64 // replaced to hold another file block
+	VMPct     float64 // page handed to the VM system
+	AvgAgeMin float64 // minutes unreferenced at replacement
+}
+
+// Table8Report aggregates replacement counters.
+func (c *Cluster) Table8Report() Table8 {
+	var file, vmn int64
+	var age stats.Welford
+	for _, cl := range c.Clients {
+		st := cl.Cache.Stats()
+		file += st.ReplacedFile
+		vmn += st.ReplacedVM
+		age.Merge(st.ReplacementAge)
+	}
+	return Table8{
+		FilePct:   stats.Ratio(file, file+vmn),
+		VMPct:     stats.Ratio(vmn, file+vmn),
+		AvgAgeMin: time.Duration(age.Mean()).Minutes(),
+	}
+}
+
+// Table9 is dirty block cleaning: why blocks were written back and how
+// long after their last write.
+type Table9 struct {
+	Pct    [fscache.NumCleanReasons]float64
+	AgeSec [fscache.NumCleanReasons]float64
+}
+
+// Table9Report aggregates cleaning counters.
+func (c *Cluster) Table9Report() Table9 {
+	var counts [fscache.NumCleanReasons]int64
+	var ages [fscache.NumCleanReasons]stats.Welford
+	var total int64
+	for _, cl := range c.Clients {
+		st := cl.Cache.Stats()
+		for r := fscache.CleanReason(0); r < fscache.NumCleanReasons; r++ {
+			counts[r] += st.Cleaned[r]
+			total += st.Cleaned[r]
+			ages[r].Merge(st.CleanAge[r])
+		}
+	}
+	var t Table9
+	for r := fscache.CleanReason(0); r < fscache.NumCleanReasons; r++ {
+		t.Pct[r] = stats.Ratio(counts[r], total)
+		t.AgeSec[r] = time.Duration(ages[r].Mean()).Seconds()
+	}
+	return t
+}
+
+// ServerStorage summarizes the servers' cache and disk behavior — the
+// instrumentation behind the paper's note that "the cache on the server
+// would further reduce the ratio of read traffic seen by the server's
+// disk" (Table 7's commentary).
+type ServerStorage struct {
+	ReadHitPct float64 // server-cache hit rate for client block fetches
+	DiskReads  int64
+	DiskWrites int64
+	DiskBusy   time.Duration
+}
+
+// ServerStorageReport aggregates server storage counters.
+func (c *Cluster) ServerStorageReport() ServerStorage {
+	var blocks, missBlocks, dr, dw int64
+	var busy time.Duration
+	for _, s := range c.Servers {
+		if s.Store == nil {
+			continue
+		}
+		st := s.Store.Stats()
+		blocks += st.ReadBlocks
+		missBlocks += st.ReadMissBlocks
+		dr += st.DiskReads
+		dw += st.DiskWrites
+		busy += st.DiskBusy
+	}
+	return ServerStorage{
+		ReadHitPct: stats.Ratio(blocks-missBlocks, blocks),
+		DiskReads:  dr,
+		DiskWrites: dw,
+		DiskBusy:   busy,
+	}
+}
+
+// LiveStale reports the stale reads actually served when the cluster runs
+// under the weak polling consistency (client.ConsistencyPoll) — the live
+// counterpart of the paper's Table 11 trace-driven estimate.
+type LiveStale struct {
+	StaleReads int64
+	StaleBytes int64
+	PollRPCs   int64
+}
+
+// LiveStaleReport sums the clients' stale-read counters.
+func (c *Cluster) LiveStaleReport() LiveStale {
+	var t LiveStale
+	for _, cl := range c.Clients {
+		r, b, p := cl.StaleStats()
+		t.StaleReads += r
+		t.StaleBytes += b
+		t.PollRPCs += p
+	}
+	return t
+}
+
+// Table10 is consistency action frequency, from the servers' counters.
+type Table10 struct {
+	CWSPct    float64
+	RecallPct float64
+	FileOpens int64
+}
+
+// Table10Report sums the servers' consistency counters.
+func (c *Cluster) Table10Report() Table10 {
+	var opens, cws, recalls int64
+	for _, s := range c.Servers {
+		st := s.Stats()
+		opens += st.FileOpens
+		cws += st.CWSEvents
+		recalls += st.Recalls
+	}
+	return Table10{
+		CWSPct:    stats.Ratio(cws, opens),
+		RecallPct: stats.Ratio(recalls, opens),
+		FileOpens: opens,
+	}
+}

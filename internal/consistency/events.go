@@ -1,0 +1,135 @@
+// Package consistency implements the paper's two trace-driven consistency
+// studies: the Section 5.5 stale-data simulator, which estimates how many
+// errors a weaker, NFS-style polling scheme would have produced (Table 11),
+// and the Section 5.6 overhead simulator, which compares Sprite's
+// disable-caching scheme with a modified variant and a token-based scheme
+// on the write-shared portion of the traces (Table 12).
+package consistency
+
+import (
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// EventKind labels a distilled shared-file event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvOpen EventKind = iota
+	EvClose
+	EvRead
+	EvWrite
+)
+
+// Event is one access to a shared file, distilled from the trace.
+type Event struct {
+	Time     time.Duration
+	Kind     EventKind
+	Client   int32
+	User     int32
+	File     uint64
+	Handle   uint64
+	Offset   int64
+	Bytes    int64
+	Write    bool // open/close mode for EvOpen/EvClose
+	Migrated bool
+	Shared   bool // the record carried FlagShared (logged during CWS)
+}
+
+// SharedTrace is the input to the consistency simulators plus the trace
+// totals the tables are normalized by.
+type SharedTrace struct {
+	Events []Event
+	// TotalOpens counts all file opens in the trace (Table 10/11 use it
+	// as the denominator).
+	TotalOpens int64
+	// MigratedOpens counts opens by migrated processes.
+	MigratedOpens int64
+	// Users is the set of users seen anywhere in the trace.
+	Users map[int32]bool
+	// Duration is the trace length (time of last record).
+	Duration time.Duration
+}
+
+// CollectShared distills the events the simulators need from a full trace:
+// all opens/closes/reads/writes on *shared* files — files accessed from
+// more than one client with at least one writer among them — in time
+// order. Directories are excluded, as in the paper.
+func CollectShared(recs []trace.Record) SharedTrace {
+	st := SharedTrace{Users: make(map[int32]bool)}
+	type fileUse struct {
+		clients map[int32]bool
+		written bool
+	}
+	uses := make(map[uint64]*fileUse)
+	for i := range recs {
+		r := &recs[i]
+		if r.Time > st.Duration {
+			st.Duration = r.Time
+		}
+		st.Users[r.User] = true
+		if r.IsDirectory() {
+			continue
+		}
+		switch r.Kind {
+		case trace.KindOpen:
+			st.TotalOpens++
+			if r.IsMigrated() {
+				st.MigratedOpens++
+			}
+		case trace.KindRead, trace.KindWrite, trace.KindClose:
+		default:
+			continue
+		}
+		u := uses[r.File]
+		if u == nil {
+			u = &fileUse{clients: make(map[int32]bool)}
+			uses[r.File] = u
+		}
+		u.clients[r.Client] = true
+		if r.Kind == trace.KindWrite || (r.Kind == trace.KindOpen && r.Flags&trace.FlagWriteMode != 0) {
+			u.written = true
+		}
+	}
+	shared := make(map[uint64]bool)
+	for f, u := range uses {
+		if len(u.clients) >= 2 && u.written {
+			shared[f] = true
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		if !shared[r.File] || r.IsDirectory() {
+			continue
+		}
+		ev := Event{
+			Time:     r.Time,
+			Client:   r.Client,
+			User:     r.User,
+			File:     r.File,
+			Handle:   r.Handle,
+			Offset:   r.Offset,
+			Bytes:    r.Length,
+			Migrated: r.IsMigrated(),
+			Shared:   r.Flags&trace.FlagShared != 0,
+		}
+		switch r.Kind {
+		case trace.KindOpen:
+			ev.Kind = EvOpen
+			ev.Write = r.Flags&trace.FlagWriteMode != 0
+		case trace.KindClose:
+			ev.Kind = EvClose
+			ev.Write = r.Flags&trace.FlagWriteMode != 0
+		case trace.KindRead:
+			ev.Kind = EvRead
+		case trace.KindWrite:
+			ev.Kind = EvWrite
+		default:
+			continue
+		}
+		st.Events = append(st.Events, ev)
+	}
+	return st
+}

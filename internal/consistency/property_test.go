@@ -1,0 +1,147 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// randomSharedTrace generates a random but well-formed multi-client access
+// pattern over a handful of files.
+func randomSharedTrace(seed int64, nEvents int) SharedTrace {
+	return CollectShared(randomRecords(seed, nEvents))
+}
+
+// randomRecords builds the raw trace records behind randomSharedTrace.
+func randomRecords(seed int64, nEvents int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	var recs []trace.Record
+	type openState struct {
+		handle uint64
+		write  bool
+	}
+	open := map[[2]int64]*openState{} // (client,file) -> state
+	var handle uint64
+	now := time.Duration(0)
+	for i := 0; i < nEvents; i++ {
+		now += time.Duration(rng.Intn(5000)) * time.Millisecond
+		client := int32(rng.Intn(4))
+		file := uint64(rng.Intn(3) + 1)
+		key := [2]int64{int64(client), int64(file)}
+		st := open[key]
+		switch {
+		case st == nil:
+			handle++
+			write := rng.Intn(2) == 0
+			st = &openState{handle: handle, write: write}
+			open[key] = st
+			flags := uint8(trace.FlagReadMode)
+			if write {
+				flags |= trace.FlagWriteMode
+			}
+			recs = append(recs, trace.Record{Time: now, Kind: trace.KindOpen,
+				Client: client, User: client + 10, File: file, Handle: st.handle, Flags: flags})
+		case rng.Intn(4) == 0: // close
+			flags := uint8(trace.FlagReadMode)
+			if st.write {
+				flags |= trace.FlagWriteMode
+			}
+			recs = append(recs, trace.Record{Time: now, Kind: trace.KindClose,
+				Client: client, User: client + 10, File: file, Handle: st.handle, Flags: flags})
+			delete(open, key)
+		default: // read or write
+			kind := trace.KindRead
+			if st.write && rng.Intn(2) == 0 {
+				kind = trace.KindWrite
+			}
+			recs = append(recs, trace.Record{Time: now, Kind: kind,
+				Client: client, User: client + 10, File: file, Handle: st.handle,
+				Flags:  trace.FlagShared, // mark as CWS-window ops for the overhead sim
+				Offset: int64(rng.Intn(64 * 1024)), Length: int64(rng.Intn(8000) + 1)})
+		}
+	}
+	return recs
+}
+
+// Property: the Sprite algorithm moves exactly the application bytes and
+// issues exactly one RPC per op, on any input.
+func TestOverheadSpriteExactInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		st := randomSharedTrace(seed, 300)
+		o := SimulateOverhead(st)
+		return o.Bytes[AlgSprite] == o.AppBytes && o.RPCs[AlgSprite] == o.AppOps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no algorithm reports negative traffic, and with zero app ops
+// every algorithm is silent.
+func TestOverheadNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		st := randomSharedTrace(seed, 200)
+		o := SimulateOverhead(st)
+		for a := 0; a < NumAlgs; a++ {
+			if o.Bytes[a] < 0 || o.RPCs[a] < 0 {
+				return false
+			}
+		}
+		if o.AppOps == 0 && (o.Bytes[AlgModified] != 0 || o.Bytes[AlgToken] != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stale errors never exceed the number of shared reads, and a
+// zero-length validity window produces no errors (every read revalidates).
+func TestStaleBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		st := randomSharedTrace(seed, 300)
+		reads := int64(0)
+		for _, ev := range st.Events {
+			if ev.Kind == EvRead {
+				reads++
+			}
+		}
+		r := SimulateStale(st, 60*time.Second)
+		if r.Errors < 0 || r.Errors > reads {
+			return false
+		}
+		if r.OpensWithError > r.Errors {
+			return false
+		}
+		zero := SimulateStale(st, 0)
+		return zero.Errors == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening the polling interval never reduces errors (more
+// staleness exposure), on traces where reads poll repeatedly.
+func TestStaleMonotoneInInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		st := randomSharedTrace(seed, 400)
+		prev := int64(0)
+		for _, iv := range []time.Duration{time.Second, 10 * time.Second, 100 * time.Second} {
+			r := SimulateStale(st, iv)
+			if r.Errors < prev {
+				return false
+			}
+			prev = r.Errors
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

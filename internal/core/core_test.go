@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spritefs/internal/workload"
+)
+
+func workloadDefault() workload.Params { return workload.Default(1) }
+
+// quickOpts keeps core tests fast: tiny cluster, one simulated hour.
+var quickOpts = TraceOptions{Hours: 1, Scale: 0.15}
+
+func TestRunTraceProducesAllAnalyses(t *testing.T) {
+	r, err := RunTrace(1, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Records == 0 {
+		t.Fatal("empty trace")
+	}
+	if r.Overall.Opens == 0 || r.Overall.Users == 0 {
+		t.Errorf("overall: %+v", r.Overall)
+	}
+	if r.Access.OpenTimes.N() == 0 {
+		t.Error("no open-time samples")
+	}
+	if r.Activity.TenMinAll.AvgActiveUsers <= 0 {
+		t.Error("no user activity")
+	}
+	if r.Overhead.ByteRatio(0) != 0 && r.Overhead.ByteRatio(0) != 1 {
+		t.Errorf("sprite byte ratio = %g, want 0 (no sharing) or 1", r.Overhead.ByteRatio(0))
+	}
+}
+
+func TestRunTraceRejectsBadNumber(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for trace 9")
+		}
+	}()
+	RunTrace(9, quickOpts)
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	a, err := RunTrace(2, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrace(2, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Records != b.Records || a.Overall.Opens != b.Overall.Opens ||
+		a.Overall.MBReadFiles != b.Overall.MBReadFiles {
+		t.Errorf("nondeterministic: %d/%d records, %d/%d opens",
+			a.Records, b.Records, a.Overall.Opens, b.Overall.Opens)
+	}
+	// A different seed offset must actually change the run.
+	c, err := RunTrace(2, TraceOptions{Hours: 1, Scale: 0.15, SeedOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Overall.Opens == a.Overall.Opens && c.Records == a.Records {
+		t.Error("seed offset had no effect")
+	}
+}
+
+func TestRunCounterStudy(t *testing.T) {
+	r := RunCounterStudy(CounterOptions{Days: 0.05, Scale: 0.15})
+	if r.Table4.AvgSizeKB <= 0 {
+		t.Errorf("avg cache size = %g", r.Table4.AvgSizeKB)
+	}
+	if r.Table5.TotalBytes == 0 {
+		t.Error("no raw traffic recorded")
+	}
+	if r.Table10.FileOpens == 0 {
+		t.Error("no opens at servers")
+	}
+	if r.NetUtilization <= 0 || r.NetUtilization >= 1 {
+		t.Errorf("utilization = %g", r.NetUtilization)
+	}
+}
+
+func TestReportsRenderAllTables(t *testing.T) {
+	r, err := RunTrace(1, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*TraceResult{r}
+	out := TraceReport(results)
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Figures 1-4", "Table 10", "Table 11", "Table 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace report missing %q", want)
+		}
+	}
+	cr := RunCounterStudy(CounterOptions{Days: 0.05, Scale: 0.15})
+	cout := CounterTables(cr)
+	for _, want := range []string{"Table 4", "Table 5", "Table 6", "Table 7", "Table 8", "Table 9", "Network utilization"} {
+		if !strings.Contains(cout, want) {
+			t.Errorf("counter report missing %q", want)
+		}
+	}
+}
+
+func TestScaleParams(t *testing.T) {
+	p := scaleParams(workloadDefault(), 0.5)
+	if p.NumClients != 20 || p.DailyUsers != 15 || p.OccasionalUsers != 20 {
+		t.Errorf("half scale: %d clients %d+%d users", p.NumClients, p.DailyUsers, p.OccasionalUsers)
+	}
+	full := scaleParams(workloadDefault(), 1.0)
+	if full.NumClients != 40 {
+		t.Errorf("scale 1.0 changed the cluster: %d", full.NumClients)
+	}
+	tiny := scaleParams(workloadDefault(), 0.01)
+	if tiny.NumClients < 2 {
+		t.Errorf("scale floor violated: %d clients", tiny.NumClients)
+	}
+}

@@ -1,0 +1,182 @@
+// Package core is the reproduction's public façade: it packages the whole
+// measurement study — the paper's primary contribution — as a library.
+// A Study runs the two campaigns the paper describes: the eight 24-hour
+// trace collections analyzed in Section 4 (Tables 1-3, Figures 1-4, plus
+// the trace-driven consistency simulations of Tables 10-12), and the
+// multi-day kernel-counter collection behind the Section 5 cache tables
+// (Tables 4-9).
+//
+// Everything is deterministic given the trace number / seed, and every
+// run can be scaled down (fewer hours, fewer clients) for quick
+// experimentation; cmd/experiments drives full-scale runs.
+package core
+
+import (
+	"time"
+
+	"spritefs/internal/analysis"
+	"spritefs/internal/cluster"
+	"spritefs/internal/consistency"
+	"spritefs/internal/trace"
+	"spritefs/internal/workload"
+)
+
+// TraceResult bundles every Section 4 analysis of one trace, plus the
+// trace-driven consistency simulations of Sections 5.5-5.6.
+type TraceResult struct {
+	TraceNum int
+	Hours    float64
+
+	Overall  *analysis.Overall
+	Activity *analysis.UserActivity
+	Access   *analysis.AccessPatterns
+	Lifetime *analysis.Lifetimes
+	Actions  *analysis.ConsistencyActions
+
+	Stale60  consistency.StaleResult
+	Stale3   consistency.StaleResult
+	Overhead consistency.Overhead
+
+	Records int
+}
+
+// TraceOptions scales a trace run.
+type TraceOptions struct {
+	// Hours of simulated time (the paper's traces are 24-hour).
+	Hours float64
+	// Scale shrinks the community: 1.0 is the full 40-client cluster;
+	// 0.25 runs a quarter-size cluster for quick checks. Values <= 0
+	// default to 1.0.
+	Scale float64
+	// SeedOffset perturbs the trace's seed (repeat runs).
+	SeedOffset int64
+}
+
+// scaleParams shrinks the community proportionally.
+func scaleParams(p workload.Params, scale float64) workload.Params {
+	if scale <= 0 || scale >= 1 {
+		return p
+	}
+	shrink := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	p.NumClients = shrink(p.NumClients)
+	p.DailyUsers = shrink(p.DailyUsers)
+	p.OccasionalUsers = shrink(p.OccasionalUsers)
+	return p
+}
+
+// RunTrace executes trace configuration n (1..8) and all its analyses.
+func RunTrace(n int, opts TraceOptions) (*TraceResult, error) {
+	p := workload.TraceParams(n)
+	p.Seed += opts.SeedOffset
+	p = scaleParams(p, opts.Scale)
+	hours := opts.Hours
+	if hours <= 0 {
+		hours = 24
+	}
+
+	cfg := cluster.DefaultConfig(p)
+	cfg.SamplePeriod = 0 // Section 4 runs need no counter sampling
+	cl := cluster.New(cfg)
+	cl.Run(time.Duration(hours * float64(time.Hour)))
+
+	res := &TraceResult{TraceNum: n, Hours: hours}
+	res.Overall = analysis.NewOverall()
+	res.Activity = analysis.NewUserActivity()
+	res.Access = analysis.NewAccessPatterns()
+	res.Lifetime = analysis.NewLifetimes()
+	res.Actions = analysis.NewConsistencyActions()
+
+	// Merge the per-server streams (scrubbing backup noise) exactly as
+	// the paper's post-processing did, then run every analyzer in one
+	// pass.
+	merged, err := trace.Collect(trace.Merge(cl.PerServerStreams()...))
+	if err != nil {
+		return nil, err
+	}
+	res.Records = len(merged)
+	if err := analysis.Run(trace.NewSliceStream(merged),
+		res.Overall, res.Activity, res.Access, res.Lifetime, res.Actions); err != nil {
+		return nil, err
+	}
+
+	shared := consistency.CollectShared(merged)
+	res.Stale60 = consistency.SimulateStale(shared, 60*time.Second)
+	res.Stale3 = consistency.SimulateStale(shared, 3*time.Second)
+	res.Overhead = consistency.SimulateOverhead(shared)
+	return res, nil
+}
+
+// CounterResult bundles the Section 5 counter-study tables.
+type CounterResult struct {
+	Days float64
+
+	Table4  cluster.Table4
+	Table5  cluster.Table5
+	Table6  cluster.Table6
+	Table7  cluster.Table7
+	Table8  cluster.Table8
+	Table9  cluster.Table9
+	Table10 cluster.Table10
+	Storage cluster.ServerStorage
+
+	NetUtilization float64
+}
+
+// CounterOptions scales the counter campaign.
+type CounterOptions struct {
+	// Days of simulated time (the paper collected two weeks).
+	Days float64
+	// Scale shrinks the community as in TraceOptions.
+	Scale float64
+	Seed  int64
+}
+
+// RunCounterStudy reproduces the Section 5 measurement campaign: the
+// cluster runs with counters sampled periodically and no tracing, and the
+// tables are computed from the counters.
+func RunCounterStudy(opts CounterOptions) *CounterResult {
+	days := opts.Days
+	if days <= 0 {
+		days = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 424242
+	}
+	p := workload.Default(seed)
+	p.EmitBackupNoise = false
+	// The paper's two-week counter window spanned the big-file class
+	// projects too; the counter study therefore includes them (their
+	// multi-megabyte inputs are what keep read miss ratios high even
+	// with multi-megabyte caches — Section 5.2).
+	p.BigSimUsers = 1
+	p.SimInputMB = 6
+	p.SimOutputMB = 2
+	p = scaleParams(p, opts.Scale)
+
+	cfg := cluster.DefaultConfig(p)
+	cfg.CollectTrace = false
+	cfg.SamplePeriod = time.Minute
+	cl := cluster.New(cfg)
+	dur := time.Duration(days * 24 * float64(time.Hour))
+	cl.Run(dur)
+
+	return &CounterResult{
+		Days:           days,
+		Table4:         cl.Table4Report(),
+		Table5:         cl.Table5Report(),
+		Table6:         cl.Table6Report(),
+		Table7:         cl.Table7Report(),
+		Table8:         cl.Table8Report(),
+		Table9:         cl.Table9Report(),
+		Table10:        cl.Table10Report(),
+		Storage:        cl.ServerStorageReport(),
+		NetUtilization: cl.Net.Utilization(dur),
+	}
+}

@@ -1,0 +1,47 @@
+package fscache
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkReadHit(b *testing.B) {
+	c := New(4096)
+	c.Read(1, 0, 1<<20, 1<<20, Attr{}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(1, 0, 1<<20, 1<<20, Attr{}, time.Duration(i))
+	}
+}
+
+func BenchmarkReadMissCycle(b *testing.B) {
+	// A working set twice the cache size: every pass misses.
+	c := New(256)
+	const fileSize = 512 * BlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%512) * BlockSize
+		c.Read(1, off, BlockSize, fileSize, Attr{}, time.Duration(i))
+	}
+}
+
+func BenchmarkWriteAndClean(b *testing.B) {
+	c := New(4096)
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Second
+		c.Write(uint64(i%16+1), 0, BlockSize, 0, Attr{}, now)
+		if i%64 == 0 {
+			c.Clean(now + WritebackDelay)
+		}
+	}
+}
+
+func BenchmarkEvictionPressure(b *testing.B) {
+	c := New(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i), 0, BlockSize, BlockSize, Attr{}, time.Duration(i))
+	}
+}

@@ -1,0 +1,512 @@
+// Package fscache implements the Sprite client file cache measured in
+// Section 5 of the paper: a block-oriented (4 KB) main-memory cache with
+// LRU replacement, a 30-second delayed-write policy enforced by a 5-second
+// cleaner daemon, write fetches for partial writes of non-resident blocks,
+// fsync write-through, dirty-data recall for cache consistency, and a
+// dynamically adjustable size negotiated with the virtual memory system.
+//
+// The cache is passive with respect to I/O: operations return descriptions
+// of the server transfers they imply (miss bytes to fetch, dirty blocks to
+// write back) and the caller — internal/client — performs the RPCs on the
+// simulated network. Every counter the paper's Tables 4, 6, 8 and 9 need
+// is maintained here.
+package fscache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"spritefs/internal/stats"
+)
+
+// BlockSize is the cache block size: 4 Kbytes, as in Sprite.
+const BlockSize = 4096
+
+// CleanReason says why a dirty block was written back (Table 9's rows),
+// plus the internal eviction case the paper notes "almost never" happens.
+type CleanReason uint8
+
+// Cleaning reasons.
+const (
+	CleanDelay  CleanReason = iota // 30-second delayed-write expiry
+	CleanFsync                     // application requested write-through
+	CleanRecall                    // server recalled dirty data for another client
+	CleanVM                        // page handed to the virtual memory system
+	CleanEvict                     // LRU evicted a dirty block (rare)
+	NumCleanReasons
+)
+
+var cleanNames = [NumCleanReasons]string{"delay", "fsync", "recall", "vm", "evict"}
+
+// String returns the reason name.
+func (r CleanReason) String() string {
+	if r < NumCleanReasons {
+		return cleanNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Attr describes the context of a cache access for the per-category
+// counters: paging accesses are VM traffic routed through the file cache
+// (code and initialized-data pages), and migrated accesses are performed
+// by migrated processes (Table 6's right column).
+type Attr struct {
+	Paging   bool
+	Migrated bool
+}
+
+// Writeback describes one dirty block the caller must ship to the server.
+type Writeback struct {
+	File   uint64
+	Block  int64 // block index within the file
+	Bytes  int64 // bytes to transfer (block start through high-water mark)
+	Reason CleanReason
+	Age    time.Duration // time since the block was last written
+}
+
+// ReadResult reports the server traffic a read implies.
+type ReadResult struct {
+	MissBytes  int64   // bytes that must be fetched from the server
+	MissBlocks int     // number of blocks fetched
+	MissIdx    []int64 // block indexes fetched (drives the server cache model)
+	Evicted    []Writeback
+}
+
+// WriteResult reports the server traffic a write implies.
+type WriteResult struct {
+	FetchBytes  int64 // write-fetch bytes (partial writes of non-resident blocks)
+	FetchBlocks int
+	FetchIdx    []int64 // block indexes write-fetched
+	Evicted     []Writeback
+}
+
+// OpStats is the per-category counter block. One instance counts all
+// traffic; a second counts the migrated-process subset.
+type OpStats struct {
+	ReadOps         int64 // block-granularity cache read operations
+	ReadMisses      int64
+	BytesRead       int64 // bytes requested by applications
+	BytesReadMissed int64 // bytes fetched from the server to satisfy reads
+	WriteOps        int64
+	WriteFetches    int64
+	BytesWritten    int64 // bytes written into the cache by applications
+	PagingReadOps   int64
+	PagingReadMiss  int64
+	PagingBytesRead int64 // portion of BytesRead that was paging traffic
+	PagingBytesMiss int64 // portion of BytesReadMissed that was paging
+}
+
+// Stats is a snapshot of all cache counters.
+type Stats struct {
+	All      OpStats
+	Migrated OpStats
+
+	BytesWrittenBack   int64 // dirty bytes shipped to the server
+	BytesSavedByDelete int64 // dirty bytes discarded before writeback
+
+	ReplacedFile   int64         // LRU victims replaced by other file data
+	ReplacedVM     int64         // blocks handed to the virtual memory system
+	ReplacementAge stats.Welford // time since last reference, at replacement
+
+	Cleaned  [NumCleanReasons]int64
+	CleanAge [NumCleanReasons]stats.Welford // time since last write, at cleaning
+
+	SizeBytes  int64
+	DirtyBytes int64
+}
+
+type block struct {
+	file  uint64
+	index int64
+	elem  *list.Element
+
+	dirty   bool
+	dirtyAt time.Duration // when the block first became dirty
+	lastWr  time.Duration // when the block was last written
+	lastRef time.Duration // when the block was last referenced
+	validHi int64         // valid bytes from block start (watermark)
+	dirtyHi int64         // dirty bytes from block start (writeback size)
+}
+
+type fileBlocks map[int64]*block
+
+// Cache is one client's (or server's) block cache.
+type Cache struct {
+	capacity   int // blocks
+	files      map[uint64]fileBlocks
+	lru        *list.List // front = most recent
+	nblocks    int
+	ndirty     int
+	dirtyBytes int64
+	wbDelay    time.Duration // 0 = default WritebackDelay
+	prefetch   int           // extra sequential blocks fetched per miss
+
+	st Stats
+}
+
+// SetPrefetch makes every read miss also fetch up to n following blocks
+// (the prefetch ablation — the paper argues prefetching cannot reduce
+// server traffic, only latency, and this knob lets the benchmark verify
+// that claim). Prefetched blocks do not count as read operations.
+func (c *Cache) SetPrefetch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.prefetch = n
+}
+
+// New returns a cache bounded at capacityBlocks blocks. Capacity must be
+// positive.
+func New(capacityBlocks int) *Cache {
+	if capacityBlocks <= 0 {
+		panic("fscache: non-positive capacity")
+	}
+	return &Cache{
+		capacity: capacityBlocks,
+		files:    make(map[uint64]fileBlocks),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the current capacity in blocks.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// NumBlocks returns the number of resident blocks.
+func (c *Cache) NumBlocks() int { return c.nblocks }
+
+// SizeBytes returns the resident size in bytes.
+func (c *Cache) SizeBytes() int64 { return int64(c.nblocks) * BlockSize }
+
+// DirtyBytes returns the number of dirty bytes awaiting writeback.
+func (c *Cache) DirtyBytes() int64 { return c.dirtyBytes }
+
+// Stats returns a snapshot of all counters.
+func (c *Cache) Stats() Stats {
+	s := c.st
+	s.SizeBytes = c.SizeBytes()
+	s.DirtyBytes = c.dirtyBytes
+	return s
+}
+
+// Contains reports whether the given block of file is resident.
+func (c *Cache) Contains(file uint64, index int64) bool {
+	_, ok := c.files[file][index]
+	return ok
+}
+
+func (c *Cache) touch(b *block, now time.Duration) {
+	b.lastRef = now
+	c.lru.MoveToFront(b.elem)
+}
+
+func (c *Cache) insert(file uint64, index int64, now time.Duration) *block {
+	fb := c.files[file]
+	if fb == nil {
+		fb = make(fileBlocks)
+		c.files[file] = fb
+	}
+	b := &block{file: file, index: index, lastRef: now}
+	b.elem = c.lru.PushFront(b)
+	fb[index] = b
+	c.nblocks++
+	return b
+}
+
+// remove unlinks a block from all structures. Dirty accounting is the
+// caller's responsibility.
+func (c *Cache) remove(b *block) {
+	c.lru.Remove(b.elem)
+	fb := c.files[b.file]
+	delete(fb, b.index)
+	if len(fb) == 0 {
+		delete(c.files, b.file)
+	}
+	c.nblocks--
+	if b.dirty {
+		c.ndirty--
+		c.dirtyBytes -= b.dirtyHi
+	}
+}
+
+// cleanScanDepth bounds how far from the LRU tail the replacement scan
+// looks for a clean victim before giving up and evicting a dirty block.
+const cleanScanDepth = 512
+
+// evictOne removes the least-recently-used block to make room, returning a
+// writeback if it was dirty. Clean blocks near the LRU tail are preferred
+// — Sprite's cleaner normally retires dirty data long before it reaches
+// the tail, so dirty evictions are the rare forced case the paper notes
+// ("usually only clean blocks are replaced"). vmTake marks the eviction as
+// a page handoff to the VM system rather than replacement by file data.
+func (c *Cache) evictOne(now time.Duration, vmTake bool) (Writeback, bool) {
+	e := c.lru.Back()
+	if e == nil {
+		return Writeback{}, false
+	}
+	for cand, depth := e, 0; cand != nil && depth < cleanScanDepth; cand, depth = cand.Prev(), depth+1 {
+		if !cand.Value.(*block).dirty {
+			e = cand
+			break
+		}
+	}
+	b := e.Value.(*block)
+	c.st.ReplacementAge.Add(float64(now - b.lastRef))
+	if vmTake {
+		c.st.ReplacedVM++
+	} else {
+		c.st.ReplacedFile++
+	}
+	var wb Writeback
+	dirty := b.dirty
+	if dirty {
+		reason := CleanEvict
+		if vmTake {
+			reason = CleanVM
+		}
+		wb = c.makeWriteback(b, reason, now)
+	}
+	c.remove(b)
+	return wb, dirty
+}
+
+func (c *Cache) makeWriteback(b *block, reason CleanReason, now time.Duration) Writeback {
+	c.st.Cleaned[reason]++
+	c.st.CleanAge[reason].Add(float64(now - b.lastWr))
+	c.st.BytesWrittenBack += b.dirtyHi
+	return Writeback{File: b.file, Block: b.index, Bytes: b.dirtyHi, Reason: reason, Age: now - b.lastWr}
+}
+
+// ensureRoom evicts until a new block can be inserted, appending any dirty
+// writebacks to out.
+func (c *Cache) ensureRoom(now time.Duration, out *[]Writeback) {
+	for c.nblocks >= c.capacity {
+		wb, dirty := c.evictOne(now, false)
+		if dirty {
+			*out = append(*out, wb)
+		}
+		if c.lru.Len() == 0 && c.nblocks >= c.capacity {
+			return // capacity zero-ish; nothing more to do
+		}
+	}
+}
+
+// blockSpan returns the first and last block indices touched by
+// [offset, offset+length).
+func blockSpan(offset, length int64) (first, last int64) {
+	first = offset / BlockSize
+	last = (offset + length - 1) / BlockSize
+	return
+}
+
+// Read performs a cache read of [offset, offset+length) of file, whose
+// current size is fileSize bytes. Missing blocks are fetched (the returned
+// MissBytes must be transferred from the server) and installed. Reads
+// beyond fileSize are a programming error and panic; the client layer
+// clamps application reads to the file size first.
+func (c *Cache) Read(file uint64, offset, length, fileSize int64, attr Attr, now time.Duration) ReadResult {
+	var res ReadResult
+	if length <= 0 {
+		return res
+	}
+	if offset < 0 || offset+length > fileSize {
+		panic(fmt.Sprintf("fscache: read [%d,%d) beyond size %d", offset, offset+length, fileSize))
+	}
+	first, last := blockSpan(offset, length)
+	for idx := first; idx <= last; idx++ {
+		c.countRead(attr)
+		b := c.files[file][idx]
+		if b != nil && c.blockCovers(b, idx, offset, length) {
+			c.touch(b, now)
+			continue
+		}
+		// Miss: fetch the valid portion of the block from the server.
+		c.countReadMiss(attr)
+		blockStart := idx * BlockSize
+		validEnd := fileSize - blockStart
+		if validEnd > BlockSize {
+			validEnd = BlockSize
+		}
+		if b == nil {
+			c.ensureRoom(now, &res.Evicted)
+			b = c.insert(file, idx, now)
+		} else {
+			c.touch(b, now)
+		}
+		fetch := validEnd - b.validHi
+		if fetch < 0 {
+			fetch = 0
+		}
+		// A partially valid block is refreshed in full for simplicity;
+		// fetching the tail only is what Sprite did and what we model.
+		if b.validHi < validEnd {
+			b.validHi = validEnd
+		}
+		res.MissBytes += fetch
+		res.MissBlocks++
+		res.MissIdx = append(res.MissIdx, idx)
+		// Sequential prefetch (ablation): pull the following blocks too.
+		for p := int64(1); p <= int64(c.prefetch); p++ {
+			pi := idx + p
+			if pi*BlockSize >= fileSize || c.files[file][pi] != nil {
+				break
+			}
+			c.ensureRoom(now, &res.Evicted)
+			pb := c.insert(file, pi, now)
+			end := fileSize - pi*BlockSize
+			if end > BlockSize {
+				end = BlockSize
+			}
+			pb.validHi = end
+			res.MissBytes += end
+			res.MissBlocks++
+			res.MissIdx = append(res.MissIdx, pi)
+		}
+	}
+	c.addBytesRead(attr, length)
+	return res
+}
+
+// blockCovers reports whether resident block b holds all bytes of the
+// request that fall inside block idx.
+func (c *Cache) blockCovers(b *block, idx, offset, length int64) bool {
+	blockStart := idx * BlockSize
+	reqEnd := offset + length - blockStart
+	if reqEnd > BlockSize {
+		reqEnd = BlockSize
+	}
+	return b.validHi >= reqEnd
+}
+
+// Write performs a cache write of [offset, offset+length) of file, whose
+// size before the write is fileSizeBefore. A partial write to a
+// non-resident block that already exists on the server requires a write
+// fetch (the returned FetchBytes). Blocks become dirty; the 30-second
+// delayed-write clock starts at the first dirtying write.
+func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr Attr, now time.Duration) WriteResult {
+	var res WriteResult
+	if length <= 0 {
+		return res
+	}
+	if offset < 0 {
+		panic("fscache: negative write offset")
+	}
+	first, last := blockSpan(offset, length)
+	for idx := first; idx <= last; idx++ {
+		c.st.All.WriteOps++
+		if attr.Migrated {
+			c.st.Migrated.WriteOps++
+		}
+		blockStart := idx * BlockSize
+		// Portion of the request inside this block.
+		lo := offset - blockStart
+		if lo < 0 {
+			lo = 0
+		}
+		hi := offset + length - blockStart
+		if hi > BlockSize {
+			hi = BlockSize
+		}
+		b := c.files[file][idx]
+		partial := lo > 0 || (hi < BlockSize && blockStart+hi < fileSizeBefore)
+		if b == nil {
+			// Write fetch: the block exists on the server (it holds bytes
+			// below fileSizeBefore), the write is partial, and the block is
+			// not resident — it must be fetched before modification.
+			existingEnd := fileSizeBefore - blockStart
+			if existingEnd > BlockSize {
+				existingEnd = BlockSize
+			}
+			needFetch := partial && existingEnd > 0 && lo < existingEnd
+			c.ensureRoom(now, &res.Evicted)
+			b = c.insert(file, idx, now)
+			if needFetch {
+				c.st.All.WriteFetches++
+				if attr.Migrated {
+					c.st.Migrated.WriteFetches++
+				}
+				res.FetchBytes += existingEnd
+				res.FetchBlocks++
+				res.FetchIdx = append(res.FetchIdx, idx)
+				b.validHi = existingEnd
+			}
+		} else {
+			c.touch(b, now)
+		}
+		if !b.dirty {
+			b.dirty = true
+			b.dirtyAt = now
+			c.ndirty++
+		}
+		b.lastWr = now
+		if hi > b.validHi {
+			b.validHi = hi
+		}
+		if hi > b.dirtyHi {
+			c.dirtyBytes += hi - b.dirtyHi
+			b.dirtyHi = hi
+		}
+	}
+	c.st.All.BytesWritten += length
+	if attr.Migrated {
+		c.st.Migrated.BytesWritten += length
+	}
+	return res
+}
+
+func (c *Cache) countRead(attr Attr) {
+	c.st.All.ReadOps++
+	if attr.Paging {
+		c.st.All.PagingReadOps++
+	}
+	if attr.Migrated {
+		c.st.Migrated.ReadOps++
+		if attr.Paging {
+			c.st.Migrated.PagingReadOps++
+		}
+	}
+}
+
+func (c *Cache) countReadMiss(attr Attr) {
+	c.st.All.ReadMisses++
+	if attr.Paging {
+		c.st.All.PagingReadMiss++
+	}
+	if attr.Migrated {
+		c.st.Migrated.ReadMisses++
+		if attr.Paging {
+			c.st.Migrated.PagingReadMiss++
+		}
+	}
+}
+
+func (c *Cache) addBytesRead(attr Attr, n int64) {
+	c.st.All.BytesRead += n
+	if attr.Paging {
+		c.st.All.PagingBytesRead += n
+	}
+	if attr.Migrated {
+		c.st.Migrated.BytesRead += n
+		if attr.Paging {
+			c.st.Migrated.PagingBytesRead += n
+		}
+	}
+}
+
+// note: BytesReadMissed is accumulated by the client after the RPC, via
+// AddMissBytes, so that clamping at the server (e.g. concurrent truncate)
+// can be reflected; in the current simulator the two always agree.
+
+// AddMissBytes records n bytes fetched from the server to satisfy reads.
+func (c *Cache) AddMissBytes(attr Attr, n int64) {
+	c.st.All.BytesReadMissed += n
+	if attr.Paging {
+		c.st.All.PagingBytesMiss += n
+	}
+	if attr.Migrated {
+		c.st.Migrated.BytesReadMissed += n
+		if attr.Paging {
+			c.st.Migrated.PagingBytesMiss += n
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package fscache
+
+import "time"
+
+// WritebackDelay is Sprite's delayed-write interval: dirty data is written
+// to the server once it has been dirty for 30 seconds.
+const WritebackDelay = 30 * time.Second
+
+// CleanerPeriod is how often the cleaner daemon scans for expired dirty
+// data (every 5 seconds in Sprite).
+const CleanerPeriod = 5 * time.Second
+
+// SetWritebackDelay overrides the delayed-write interval (for the
+// writeback-delay ablation; the paper suggests longer delays as future
+// work). Non-positive delays restore the default.
+func (c *Cache) SetWritebackDelay(d time.Duration) {
+	if d <= 0 {
+		d = WritebackDelay
+	}
+	c.wbDelay = d
+}
+
+// WriteDelay returns the effective delayed-write interval.
+func (c *Cache) WriteDelay() time.Duration {
+	if c.wbDelay > 0 {
+		return c.wbDelay
+	}
+	return WritebackDelay
+}
+
+// Clean implements the delayed-write daemon scan: every dirty block whose
+// file has at least one block dirty for the writeback delay or longer is
+// returned for writeback, matching Sprite's rule that "all dirty blocks
+// for a file are written to the server if any block in the file has been
+// dirty for 30 seconds". Returned blocks become clean.
+func (c *Cache) Clean(now time.Duration) []Writeback {
+	var out []Writeback
+	delay := c.WriteDelay()
+	for _, fb := range c.files {
+		expired := false
+		for _, b := range fb {
+			if b.dirty && now-b.dirtyAt >= delay {
+				expired = true
+				break
+			}
+		}
+		if !expired {
+			continue
+		}
+		for _, b := range fb {
+			if b.dirty {
+				out = append(out, c.cleanBlock(b, CleanDelay, now))
+			}
+		}
+	}
+	return out
+}
+
+func (c *Cache) cleanBlock(b *block, reason CleanReason, now time.Duration) Writeback {
+	wb := c.makeWriteback(b, reason, now)
+	b.dirty = false
+	c.ndirty--
+	c.dirtyBytes -= b.dirtyHi
+	b.dirtyHi = 0
+	return wb
+}
+
+// Fsync returns all dirty blocks of file for synchronous writeback
+// (the application invoked the fsync kernel call).
+func (c *Cache) Fsync(file uint64, now time.Duration) []Writeback {
+	return c.flushFile(file, CleanFsync, now)
+}
+
+// Recall returns all dirty blocks of file for immediate writeback because
+// the server needs the most recent data to supply to another client.
+func (c *Cache) Recall(file uint64, now time.Duration) []Writeback {
+	return c.flushFile(file, CleanRecall, now)
+}
+
+func (c *Cache) flushFile(file uint64, reason CleanReason, now time.Duration) []Writeback {
+	var out []Writeback
+	for _, b := range c.files[file] {
+		if b.dirty {
+			out = append(out, c.cleanBlock(b, reason, now))
+		}
+	}
+	return out
+}
+
+// Invalidate drops every resident block of file without writeback; the
+// client calls it when an open returns a newer version timestamp than the
+// cached copy ("the client uses this to flush any stale data from its
+// cache"). It returns the number of blocks dropped; in a correctly
+// operating system stale dirty data cannot exist, so dirty bytes are
+// simply discarded.
+func (c *Cache) Invalidate(file uint64) int {
+	n := 0
+	for _, b := range c.files[file] {
+		c.remove(b)
+		n++
+	}
+	return n
+}
+
+// FileDirty reports whether file has any dirty blocks resident.
+func (c *Cache) FileDirty(file uint64) bool {
+	for _, b := range c.files[file] {
+		if b.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete drops every resident block of file; dirty bytes vanish without
+// ever reaching the server. This is the delayed-write payoff the paper
+// quantifies: "about one-tenth of all new data is overwritten or deleted
+// before it can be passed on to the server". The saved byte count is
+// returned and accumulated in the stats.
+func (c *Cache) Delete(file uint64) int64 {
+	var saved int64
+	for _, b := range c.files[file] {
+		if b.dirty {
+			saved += b.dirtyHi
+		}
+		c.remove(b)
+	}
+	c.st.BytesSavedByDelete += saved
+	return saved
+}
+
+// Truncate drops blocks at or beyond newSize and trims the boundary block.
+// Dirty bytes above the cut are counted as saved, like Delete.
+func (c *Cache) Truncate(file uint64, newSize int64) int64 {
+	var saved int64
+	cutBlock := newSize / BlockSize
+	cutWithin := newSize % BlockSize
+	for idx, b := range c.files[file] {
+		switch {
+		case idx > cutBlock || (idx == cutBlock && cutWithin == 0):
+			if b.dirty {
+				saved += b.dirtyHi
+			}
+			c.remove(b)
+		case idx == cutBlock:
+			if b.validHi > cutWithin {
+				b.validHi = cutWithin
+			}
+			if b.dirty && b.dirtyHi > cutWithin {
+				saved += b.dirtyHi - cutWithin
+				c.dirtyBytes -= b.dirtyHi - cutWithin
+				b.dirtyHi = cutWithin
+				if b.dirtyHi == 0 {
+					b.dirty = false
+					c.ndirty--
+				}
+			}
+		}
+	}
+	c.st.BytesSavedByDelete += saved
+	return saved
+}
+
+// TakeForVM hands n blocks to the virtual memory system: the LRU victims
+// are evicted with their replacement attributed to VM (Table 8's
+// "virtual memory page" row). Dirty victims are returned for writeback.
+// It returns the writebacks and the number of blocks actually released.
+func (c *Cache) TakeForVM(n int, now time.Duration) ([]Writeback, int) {
+	var out []Writeback
+	released := 0
+	for i := 0; i < n && c.nblocks > 0; i++ {
+		wb, dirty := c.evictOne(now, true)
+		if dirty {
+			out = append(out, wb)
+		}
+		released++
+	}
+	// Capacity shrinks with the released pages so the cache does not
+	// immediately regrow; GrowBy restores it when VM returns pages.
+	c.capacity -= released
+	if c.capacity < 1 {
+		c.capacity = 1
+	}
+	return out, released
+}
+
+// GrowBy raises the cache capacity by n blocks (pages granted by the VM
+// system).
+func (c *Cache) GrowBy(n int) {
+	if n > 0 {
+		c.capacity += n
+	}
+}
+
+// SetCapacity sets an absolute capacity, evicting as needed. Evictions are
+// attributed to VM when vmTake is true. It returns any dirty writebacks.
+func (c *Cache) SetCapacity(blocks int, vmTake bool, now time.Duration) []Writeback {
+	if blocks < 1 {
+		blocks = 1
+	}
+	c.capacity = blocks
+	var out []Writeback
+	for c.nblocks > c.capacity {
+		wb, dirty := c.evictOne(now, vmTake)
+		if dirty {
+			out = append(out, wb)
+		}
+	}
+	return out
+}
+
+// OldestRef returns the last-reference time of the LRU block and whether
+// the cache is non-empty. The memory arbiter uses it to decide whether the
+// file cache or the VM system holds the colder page.
+func (c *Cache) OldestRef() (time.Duration, bool) {
+	e := c.lru.Back()
+	if e == nil {
+		return 0, false
+	}
+	return e.Value.(*block).lastRef, true
+}

@@ -1,0 +1,172 @@
+// Package migrate models Sprite's process migration as the paper's
+// workload uses it: pmake farms compilation (and simulation) jobs out to
+// idle workstations. The host-selection policy is biased toward reusing
+// recently chosen hosts — the behaviour the paper credits for migrated
+// processes' unexpectedly *good* cache hit ratios ("the policy used to
+// select hosts for migration tends to reuse the same hosts over and over
+// again, which may allow some reuse of data in the caches"). When a
+// workstation's owner returns, migrated processes are evicted (their dirty
+// pages flushing to backing files — the paging-burst scenario of §5.3).
+package migrate
+
+import (
+	"fmt"
+
+	"spritefs/internal/sim"
+)
+
+// Stats counts migration activity.
+type Stats struct {
+	Migrations int64
+	Evictions  int64
+	Reuses     int64 // selections that reused the previously chosen host
+}
+
+type hostState struct {
+	id          int32
+	ownerActive bool
+	migrants    map[int32]bool
+}
+
+// Pool tracks which workstations are idle and places migrated processes.
+type Pool struct {
+	rng       *sim.Rand
+	hosts     map[int32]*hostState
+	order     []int32 // deterministic iteration order
+	lastPick  int32
+	havePick  bool
+	reuseBias float64
+	st        Stats
+}
+
+// NewPool returns a pool over the given host ids. reuseBias in [0,1] is
+// the probability that selection reuses the previous target when it is
+// still idle.
+func NewPool(hosts []int32, reuseBias float64, rng *sim.Rand) *Pool {
+	if rng == nil {
+		panic("migrate: nil rng")
+	}
+	if reuseBias < 0 || reuseBias > 1 {
+		panic(fmt.Sprintf("migrate: reuse bias %g out of range", reuseBias))
+	}
+	p := &Pool{
+		rng:       rng,
+		hosts:     make(map[int32]*hostState, len(hosts)),
+		reuseBias: reuseBias,
+	}
+	for _, id := range hosts {
+		if _, dup := p.hosts[id]; dup {
+			panic(fmt.Sprintf("migrate: duplicate host %d", id))
+		}
+		p.hosts[id] = &hostState{id: id, migrants: make(map[int32]bool)}
+		p.order = append(p.order, id)
+	}
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.st }
+
+// IdleHosts returns the number of hosts currently eligible as targets.
+func (p *Pool) IdleHosts() int {
+	n := 0
+	for _, h := range p.hosts {
+		if !h.ownerActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Migrants returns the pids currently migrated onto host.
+func (p *Pool) Migrants(host int32) []int32 {
+	h := p.hosts[host]
+	if h == nil {
+		return nil
+	}
+	out := make([]int32, 0, len(h.migrants))
+	for _, id := range p.orderOfMigrants(h) {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (p *Pool) orderOfMigrants(h *hostState) []int32 {
+	out := make([]int32, 0, len(h.migrants))
+	for pid := range h.migrants {
+		out = append(out, pid)
+	}
+	// Sort for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SetOwnerActive marks the owner as present (active=true) or away. When an
+// owner returns to a host running migrated processes, those processes are
+// evicted: their pids are returned so the caller can flush their memory
+// and re-place or terminate them.
+func (p *Pool) SetOwnerActive(host int32, active bool) []int32 {
+	h := p.hosts[host]
+	if h == nil {
+		return nil
+	}
+	h.ownerActive = active
+	if !active || len(h.migrants) == 0 {
+		return nil
+	}
+	evicted := p.orderOfMigrants(h)
+	for _, pid := range evicted {
+		delete(h.migrants, pid)
+	}
+	p.st.Evictions += int64(len(evicted))
+	return evicted
+}
+
+// Select picks a target host for a migrated process, never the requesting
+// host. Selection reuses the previous target with probability reuseBias
+// when it is still idle; otherwise it picks uniformly among idle hosts.
+// ok is false when no idle host exists.
+func (p *Pool) Select(requester int32) (host int32, ok bool) {
+	if p.havePick && p.lastPick != requester && p.rng.Bool(p.reuseBias) {
+		if h := p.hosts[p.lastPick]; h != nil && !h.ownerActive {
+			p.st.Reuses++
+			return p.lastPick, true
+		}
+	}
+	var idle []int32
+	for _, id := range p.order {
+		if id == requester {
+			continue
+		}
+		if h := p.hosts[id]; !h.ownerActive {
+			idle = append(idle, id)
+		}
+	}
+	if len(idle) == 0 {
+		return 0, false
+	}
+	pick := idle[p.rng.Intn(len(idle))]
+	p.lastPick, p.havePick = pick, true
+	return pick, true
+}
+
+// AddMigrant registers a migrated process on host.
+func (p *Pool) AddMigrant(host, pid int32) {
+	h := p.hosts[host]
+	if h == nil {
+		panic(fmt.Sprintf("migrate: unknown host %d", host))
+	}
+	h.migrants[pid] = true
+	p.st.Migrations++
+}
+
+// RemoveMigrant unregisters a migrated process (it exited normally).
+func (p *Pool) RemoveMigrant(host, pid int32) {
+	if h := p.hosts[host]; h != nil {
+		delete(h.migrants, pid)
+	}
+}

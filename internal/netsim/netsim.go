@@ -1,0 +1,203 @@
+// Package netsim models the cluster interconnect of the measured system: a
+// shared 10 Mbit/s Ethernet carrying RPCs between diskless clients and the
+// file servers. The model is analytic — an RPC costs a fixed base latency
+// plus payload time at the wire bandwidth — because the paper reports the
+// network was far from saturation (40 workstations generate ~4% of Ethernet
+// bandwidth in paging traffic). What matters for the tables is the byte
+// accounting: every byte crossing the wire is attributed to a traffic class
+// and a client, which is exactly the instrumentation behind Tables 5 and 7.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class attributes a transfer to one of the paper's traffic categories.
+type Class uint8
+
+// Traffic classes. FileRead/FileWrite are cache-mediated block transfers;
+// Paging classes carry VM traffic (which in Sprite is file traffic to
+// executable and backing files); Shared classes are the uncacheable
+// pass-through operations on write-shared files; DirRead is naming traffic;
+// Control covers opens, closes, consistency callbacks and other small RPCs.
+const (
+	FileRead Class = iota
+	FileWrite
+	PagingRead
+	PagingWrite
+	SharedRead
+	SharedWrite
+	DirRead
+	Control
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"file-read", "file-write", "paging-read", "paging-write",
+	"shared-read", "shared-write", "dir-read", "control",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsRead reports whether the class moves bytes from server to client.
+func (c Class) IsRead() bool {
+	switch c {
+	case FileRead, PagingRead, SharedRead, DirRead:
+		return true
+	}
+	return false
+}
+
+// Traffic accumulates bytes and operation counts per class.
+type Traffic struct {
+	Bytes [NumClasses]int64
+	Ops   [NumClasses]int64
+}
+
+// Add merges other into t.
+func (t *Traffic) Add(other *Traffic) {
+	for c := Class(0); c < NumClasses; c++ {
+		t.Bytes[c] += other.Bytes[c]
+		t.Ops[c] += other.Ops[c]
+	}
+}
+
+// TotalBytes returns the sum of bytes over all classes.
+func (t *Traffic) TotalBytes() int64 {
+	var sum int64
+	for _, b := range t.Bytes {
+		sum += b
+	}
+	return sum
+}
+
+// TotalOps returns the sum of operations over all classes.
+func (t *Traffic) TotalOps() int64 {
+	var sum int64
+	for _, o := range t.Ops {
+		sum += o
+	}
+	return sum
+}
+
+// ReadBytes returns bytes moved server-to-client.
+func (t *Traffic) ReadBytes() int64 {
+	var sum int64
+	for c := Class(0); c < NumClasses; c++ {
+		if c.IsRead() {
+			sum += t.Bytes[c]
+		}
+	}
+	return sum
+}
+
+// WriteBytes returns bytes moved client-to-server.
+func (t *Traffic) WriteBytes() int64 { return t.TotalBytes() - t.ReadBytes() }
+
+// Config holds the interconnect parameters.
+type Config struct {
+	// BandwidthBps is wire bandwidth in bytes/second. The measured
+	// cluster's Ethernet was 10 Mbit/s = 1.25e6 B/s.
+	BandwidthBps float64
+	// BaseLatency is fixed per-RPC overhead (protocol processing plus
+	// server handling). Tuned so a 4 KB block fetch costs ~6.5 ms, the
+	// figure the paper quotes for Sprite.
+	BaseLatency time.Duration
+}
+
+// DefaultConfig returns the parameters of the measured 1991 cluster.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBps: 1.25e6,
+		BaseLatency:  3 * time.Millisecond,
+	}
+}
+
+// Network is the shared interconnect. It is passive: callers ask for the
+// cost of an RPC and schedule their own delays on the simulator clock;
+// Network records the byte accounting and cumulative busy time.
+type Network struct {
+	cfg       Config
+	total     Traffic
+	perClient map[int32]*Traffic
+	busy      time.Duration
+}
+
+// New returns a network with the given configuration. A zero bandwidth is
+// a configuration error and panics.
+func New(cfg Config) *Network {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if cfg.BaseLatency < 0 {
+		panic("netsim: negative base latency")
+	}
+	return &Network{
+		cfg:       cfg,
+		perClient: make(map[int32]*Traffic),
+	}
+}
+
+// RPC accounts one remote procedure call of the given class carrying
+// payload bytes on behalf of client, and returns its service time.
+// Negative payloads are a programming error and panic.
+func (n *Network) RPC(client int32, class Class, payload int64) time.Duration {
+	if payload < 0 {
+		panic(fmt.Sprintf("netsim: negative payload %d", payload))
+	}
+	if class >= NumClasses {
+		panic(fmt.Sprintf("netsim: bad class %d", class))
+	}
+	t := n.perClient[client]
+	if t == nil {
+		t = &Traffic{}
+		n.perClient[client] = t
+	}
+	t.Bytes[class] += payload
+	t.Ops[class]++
+	n.total.Bytes[class] += payload
+	n.total.Ops[class]++
+	d := n.cfg.BaseLatency + time.Duration(float64(payload)/n.cfg.BandwidthBps*float64(time.Second))
+	n.busy += d
+	return d
+}
+
+// Total returns a copy of the cluster-wide traffic accounting.
+func (n *Network) Total() Traffic { return n.total }
+
+// Client returns a copy of one client's traffic accounting.
+func (n *Network) Client(id int32) Traffic {
+	if t := n.perClient[id]; t != nil {
+		return *t
+	}
+	return Traffic{}
+}
+
+// Clients returns the ids of all clients that have issued RPCs.
+func (n *Network) Clients() []int32 {
+	out := make([]int32, 0, len(n.perClient))
+	for id := range n.perClient {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Busy returns cumulative wire-busy time; divided by elapsed virtual time
+// it gives utilization (the paper's "four percent of the bandwidth of an
+// Ethernet" check).
+func (n *Network) Busy() time.Duration { return n.busy }
+
+// Utilization returns the fraction of the elapsed window the wire was busy.
+func (n *Network) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.busy) / float64(elapsed)
+}

@@ -1,0 +1,367 @@
+// Package server implements the Sprite file server's role in the study:
+// the authoritative name space, per-file open state, and the three
+// consistency mechanisms of Section 5 — version timestamps handed out at
+// open (clients flush stale cached data), recall of dirty data from the
+// last writer, and disabling of client caching under concurrent
+// write-sharing. The server counts every consistency action, which is the
+// instrumentation behind Table 10.
+//
+// Naming operations (opens, closes, deletes) all pass through the server,
+// which is why the paper could collect a system-wide trace on just four
+// machines; the cluster layer emits trace records at exactly these points.
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// NoClient marks the absence of a client in last-writer tracking.
+const NoClient int32 = -1
+
+// File is one file's authoritative state.
+type File struct {
+	ID         uint64
+	Size       int64
+	Version    uint64 // bumped on every write reaching the server
+	Directory  bool
+	Created    time.Duration
+	OldestByte time.Duration // creation time of current oldest byte (for lifetime accounting)
+	LastWrite  time.Duration
+
+	readers map[int32]int // client -> open-for-read count
+	writers map[int32]int // client -> open-for-write count
+
+	// lastWriter is the client that most recently wrote the file and may
+	// still hold dirty data in its cache. The server does not know whether
+	// the delayed-write daemon has already flushed it, so recalls are an
+	// upper bound — exactly as the paper notes.
+	lastWriter int32
+
+	// uncacheable is set while the file undergoes concurrent
+	// write-sharing; all reads and writes pass through to the server.
+	uncacheable bool
+}
+
+// Openers returns the number of clients with the file open.
+func (f *File) Openers() int {
+	n := len(f.readers)
+	for c := range f.writers {
+		if _, alsoReader := f.readers[c]; !alsoReader {
+			n++
+		}
+	}
+	return n
+}
+
+// WriterCount returns the number of clients with the file open for writing.
+func (f *File) WriterCount() int { return len(f.writers) }
+
+// Uncacheable reports whether client caching is currently disabled.
+func (f *File) Uncacheable() bool { return f.uncacheable }
+
+// Stats holds the consistency-action counters for Table 10 plus name-space
+// bookkeeping.
+type Stats struct {
+	FileOpens   int64 // opens of regular files (Table 10's denominator)
+	DirOpens    int64
+	Creates     int64
+	Deletes     int64
+	Truncates   int64
+	Recalls     int64 // opens that triggered a dirty-data recall
+	CWSEvents   int64 // opens that initiated concurrent write-sharing
+	CacheOffOps int64 // reads/writes passed through while uncacheable
+	Invalids    int64 // stale-version invalidations instructed to clients
+}
+
+// Server is one file server.
+type Server struct {
+	id     int16
+	files  map[uint64]*File
+	nextID uint64
+	st     Stats
+
+	// Store models the server's memory cache and disk when attached
+	// (AttachStorage); nil means storage is not modeled.
+	Store *Storage
+}
+
+// AttachStorage gives the server a memory cache of the given capacity (in
+// 4 KB blocks) backed by a modeled disk.
+func (s *Server) AttachStorage(capacityBlocks int) {
+	s.Store = NewStorage(capacityBlocks)
+}
+
+// ServeBlock serves one client block fetch through the server cache,
+// returning any disk time incurred. A no-op without attached storage.
+func (s *Server) ServeBlock(id uint64, block int64, now time.Duration) time.Duration {
+	if s.Store == nil {
+		return 0
+	}
+	f := s.files[id]
+	if f == nil {
+		return 0
+	}
+	return s.Store.ServeRead(id, block, f.Size, now)
+}
+
+// ServeSpan serves a pass-through read (uncacheable file) block by block.
+func (s *Server) ServeSpan(id uint64, offset, length int64, now time.Duration) time.Duration {
+	if s.Store == nil || length <= 0 {
+		return 0
+	}
+	var d time.Duration
+	for b := offset / 4096; b <= (offset+length-1)/4096; b++ {
+		d += s.ServeBlock(id, b, now)
+	}
+	return d
+}
+
+// AcceptSpan takes a pass-through write into the server cache.
+func (s *Server) AcceptSpan(id uint64, offset, length int64, now time.Duration) {
+	if s.Store == nil || length <= 0 {
+		return
+	}
+	for b := offset / 4096; b <= (offset+length-1)/4096; b++ {
+		end := offset + length - b*4096
+		if end > 4096 {
+			end = 4096
+		}
+		s.Store.AcceptWrite(id, b, end, now)
+	}
+}
+
+// New returns an empty server with the given id. File ids are made unique
+// across servers by embedding the server id in the top bits.
+func New(id int16) *Server {
+	if id < 0 {
+		panic("server: negative id")
+	}
+	return &Server{
+		id:     id,
+		files:  make(map[uint64]*File),
+		nextID: uint64(id)<<48 | 1,
+	}
+}
+
+// ID returns the server id.
+func (s *Server) ID() int16 { return s.id }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats { return s.st }
+
+// NumFiles returns the number of live files.
+func (s *Server) NumFiles() int { return len(s.files) }
+
+// Lookup returns the file with the given id, or nil.
+func (s *Server) Lookup(id uint64) *File { return s.files[id] }
+
+// Create makes a new file (or directory) and returns it.
+func (s *Server) Create(directory bool, now time.Duration) *File {
+	f := &File{
+		ID:         s.nextID,
+		Directory:  directory,
+		Created:    now,
+		OldestByte: now,
+		LastWrite:  now,
+		readers:    make(map[int32]int),
+		writers:    make(map[int32]int),
+		lastWriter: NoClient,
+	}
+	s.nextID++
+	s.files[f.ID] = f
+	s.st.Creates++
+	return f
+}
+
+// OpenReply tells the opening client what consistency actions apply.
+type OpenReply struct {
+	Version uint64
+	Size    int64
+	// Cacheable is false when the file is under concurrent write-sharing;
+	// the client must bypass its cache for this file.
+	Cacheable bool
+	// RecallFrom names a client whose dirty data the server must recall
+	// before this open proceeds (NoClient if none).
+	RecallFrom int32
+	// DisableOn lists clients that were already caching the file and must
+	// now flush and bypass (set when this open initiates write-sharing).
+	DisableOn []int32
+	// StartedCWS reports that this open initiated concurrent write-sharing.
+	StartedCWS bool
+}
+
+// Open registers an open of file id by client. write selects write mode.
+// It returns the consistency actions the cluster must carry out. Opening
+// a missing file is an error.
+func (s *Server) Open(id uint64, client int32, write bool, now time.Duration) (OpenReply, error) {
+	f := s.files[id]
+	if f == nil {
+		return OpenReply{}, fmt.Errorf("server %d: open of unknown file %#x", s.id, id)
+	}
+	reply := OpenReply{Version: f.Version, Size: f.Size, Cacheable: true, RecallFrom: NoClient}
+	if f.Directory {
+		s.st.DirOpens++
+		// Directories are never cached on clients (Sprite avoids the
+		// consistency problem entirely).
+		reply.Cacheable = false
+		f.addOpen(client, write)
+		return reply, nil
+	}
+	s.st.FileOpens++
+
+	// Dirty-data recall: another client may hold newer data than we do.
+	if f.lastWriter != NoClient && f.lastWriter != client {
+		reply.RecallFrom = f.lastWriter
+		f.lastWriter = NoClient
+		f.Version++ // recalled data becomes the new authoritative version
+		reply.Version = f.Version
+		s.st.Recalls++
+	}
+
+	wasShared := f.uncacheable
+	f.addOpen(client, write)
+
+	// Concurrent write-sharing: open on >=2 clients with >=1 writer.
+	if !wasShared && f.Openers() >= 2 && f.WriterCount() >= 1 {
+		f.uncacheable = true
+		reply.StartedCWS = true
+		s.st.CWSEvents++
+		for c := range f.readers {
+			if c != client {
+				reply.DisableOn = append(reply.DisableOn, c)
+			}
+		}
+		for c := range f.writers {
+			if c != client && f.readers[c] == 0 {
+				reply.DisableOn = append(reply.DisableOn, c)
+			}
+		}
+	}
+	if f.uncacheable {
+		reply.Cacheable = false
+	}
+	return reply, nil
+}
+
+func (f *File) addOpen(client int32, write bool) {
+	if write {
+		f.writers[client]++
+	} else {
+		f.readers[client]++
+	}
+}
+
+// Close unregisters an open. dirty reports whether the client holds dirty
+// data for the file at close (it becomes the last writer). In Sprite a
+// file stays uncacheable until it has been closed by all clients.
+func (s *Server) Close(id uint64, client int32, write, dirty bool, now time.Duration) error {
+	f := s.files[id]
+	if f == nil {
+		// The file was deleted while open; Sprite allows this.
+		return nil
+	}
+	m := f.readers
+	if write {
+		m = f.writers
+	}
+	if m[client] <= 0 {
+		return fmt.Errorf("server %d: close without open (file %#x client %d write %v)", s.id, id, client, write)
+	}
+	m[client]--
+	if m[client] == 0 {
+		delete(m, client)
+	}
+	if write && dirty && !f.uncacheable {
+		f.lastWriter = client
+	}
+	if f.uncacheable && f.Openers() == 0 {
+		f.uncacheable = false
+	}
+	return nil
+}
+
+// Write applies a write's metadata at the server: size growth and version
+// bump. through reports a pass-through (uncacheable) write as opposed to a
+// delayed writeback.
+func (s *Server) Write(id uint64, client int32, offset, length int64, through bool, now time.Duration) {
+	f := s.files[id]
+	if f == nil {
+		return
+	}
+	if end := offset + length; end > f.Size {
+		f.Size = end
+	}
+	f.Version++
+	f.LastWrite = now
+	if through {
+		s.st.CacheOffOps++
+		f.lastWriter = NoClient
+	}
+}
+
+// WriteBack records a delayed writeback block arriving from a client's
+// cache. It does not clear last-writer state: the server does not track
+// whether the client has finished flushing (the paper's upper-bound
+// caveat). The block lands in the server cache (when storage is attached)
+// and reaches the disk after the server's own 30-second delay.
+func (s *Server) WriteBack(id uint64, client int32, block, bytes int64, now time.Duration) {
+	f := s.files[id]
+	if f == nil {
+		return
+	}
+	f.Version++
+	f.LastWrite = now
+	if s.Store != nil {
+		s.Store.AcceptWrite(id, block, bytes, now)
+	}
+}
+
+// Grow is used by the client layer on every cached application write: the
+// real server learns the new size at writeback or close, but the simulator
+// keeps authoritative sizes (and last-write times, for the lifetime
+// analyses) eagerly for simplicity.
+func (s *Server) Grow(id uint64, newSize int64, now time.Duration) {
+	f := s.files[id]
+	if f == nil {
+		return
+	}
+	if newSize > f.Size {
+		f.Size = newSize
+	}
+	f.LastWrite = now
+}
+
+// Delete removes the file. It returns the file's final state for lifetime
+// accounting (nil if unknown).
+func (s *Server) Delete(id uint64, now time.Duration) *File {
+	f := s.files[id]
+	if f == nil {
+		return nil
+	}
+	delete(s.files, id)
+	s.st.Deletes++
+	if s.Store != nil {
+		s.Store.Drop(id)
+	}
+	return f
+}
+
+// Truncate cuts the file to zero length. The paper treats truncation to
+// zero as deletion for lifetime purposes; the cluster layer records both.
+func (s *Server) Truncate(id uint64, now time.Duration) *File {
+	f := s.files[id]
+	if f == nil {
+		return nil
+	}
+	f.Size = 0
+	f.Version++
+	f.OldestByte = now
+	f.LastWrite = now
+	s.st.Truncates++
+	return f
+}
+
+// NoteInvalidation counts a client invalidating stale cached data after an
+// open returned a newer version.
+func (s *Server) NoteInvalidation() { s.st.Invalids++ }

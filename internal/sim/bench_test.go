@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	var next func()
+	count := 0
+	next = func() {
+		count++
+		if count < b.N {
+			s.After(time.Microsecond, next)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, next)
+	s.Run()
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Many pending events at once: heap operations dominate.
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		s.At(time.Duration(i)*time.Second+time.Hour, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkRandDistributions(b *testing.B) {
+	g := NewRand(1)
+	b.Run("lognormal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.LogNormal(4096, 1.1)
+		}
+	})
+	b.Run("boundedpareto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.BoundedPareto(1024, 1<<20, 1.1)
+		}
+	})
+	b.Run("pick", func(b *testing.B) {
+		w := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		for i := 0; i < b.N; i++ {
+			g.Pick(w)
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"spritefs/internal/sim"
+)
+
+// Demonstrates the deterministic event loop that every cluster runs on:
+// events fire in virtual-time order, periodic daemons via Every, and the
+// whole run is a pure function of the seed.
+func ExampleSim() {
+	s := sim.New(42)
+	s.After(2*time.Second, func() { fmt.Println("writeback at", s.Now()) })
+	ticker := s.Every(0, time.Second, func() { fmt.Println("daemon at", s.Now()) })
+	s.RunUntil(2 * time.Second)
+	ticker.Stop()
+	// Output:
+	// daemon at 0s
+	// daemon at 1s
+	// writeback at 2s
+	// daemon at 2s
+}

@@ -1,0 +1,145 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the whole reproduction. All the cluster machinery (clients,
+// servers, caches, daemons, the workload generators) runs on one virtual
+// clock driven by an event heap, so a run with a fixed seed is exactly
+// reproducible — the property that lets the experiment harness regenerate
+// the paper's tables bit-for-bit across machines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual time measured from the start of the simulation.
+type Time = time.Duration
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use;
+// each simulated cluster owns one Sim and runs single-threaded (parallel
+// experiments run independent Sims).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *Rand
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// clamped to zero.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Ticker is a cancellable periodic event created by Every.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels future firings of the ticker.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every schedules fn to run at start and then every period thereafter,
+// until the returned Ticker is stopped or the simulation ends. It models
+// the paper's daemons (the 5-second cache cleaner, the counter sampler).
+// period must be positive.
+func (s *Sim) Every(start, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	tk := &Ticker{}
+	var tick func()
+	tick = func() {
+		if tk.stopped {
+			return
+		}
+		fn()
+		if !tk.stopped {
+			s.After(period, tick)
+		}
+	}
+	s.At(start, tick)
+	return tk
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was run.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t. Events scheduled after t remain pending.
+func (s *Sim) RunUntil(t Time) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of events still scheduled.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

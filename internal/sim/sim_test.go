@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Error("After with negative delay never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, d := range []Time{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Errorf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Advancing with no events still moves the clock.
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second || s.Pending() != 0 {
+		t.Errorf("Now = %v Pending = %d", s.Now(), s.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, chain)
+		}
+	}
+	s.After(0, chain)
+	s.Run()
+	if count != 5 {
+		t.Errorf("chain ran %d times, want 5", count)
+	}
+	if s.Now() != 4*time.Second {
+		t.Errorf("Now = %v, want 4s", s.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(0, time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if n != 3 {
+		t.Errorf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestTickerStopBeforeFirstFire(t *testing.T) {
+	s := New(1)
+	n := 0
+	tk := s.Every(time.Second, time.Second, func() { n++ })
+	tk.Stop()
+	s.RunUntil(time.Minute)
+	if n != 0 {
+		t.Errorf("stopped ticker fired %d times", n)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero period")
+		}
+	}()
+	New(1).Every(0, 0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		var vals []float64
+		s.Every(0, time.Second, func() { vals = append(vals, s.Rand().Float64()) })
+		s.RunUntil(10 * time.Second)
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

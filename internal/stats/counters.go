@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a named set of int64 counters, mirroring the ~50 kernel
+// counters the paper's authors added to the Sprite kernels (Section 3).
+// A Counters value is safe for concurrent use; the simulators are
+// single-threaded per cluster, but analyses may read snapshots from other
+// goroutines.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments counter name by delta (which may be negative).
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of counter name (0 if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Delta returns the difference between a later snapshot b and an earlier
+// snapshot a (b - a), including keys present in only one of the two.
+func Delta(a, b map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(b))
+	for k, v := range b {
+		out[k] = v - a[k]
+	}
+	for k, v := range a {
+		if _, ok := b[k]; !ok {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-40s %d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a percentage, or 0 if den == 0. It is the
+// pervasive "percent of" helper for the Section 5 tables.
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// RatioF is Ratio for floating-point numerator and denominator.
+func RatioF(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters()
+	if c.Get("missing") != 0 {
+		t.Error("missing counter not zero")
+	}
+	c.Inc("opens")
+	c.Add("opens", 2)
+	c.Add("bytes", -5)
+	if got := c.Get("opens"); got != 3 {
+		t.Errorf("opens = %d, want 3", got)
+	}
+	if got := c.Get("bytes"); got != -5 {
+		t.Errorf("bytes = %d, want -5", got)
+	}
+}
+
+func TestCountersSnapshotIsolation(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 1)
+	snap := c.Snapshot()
+	c.Add("x", 10)
+	if snap["x"] != 1 {
+		t.Error("snapshot mutated by later Add")
+	}
+	snap["x"] = 99
+	if c.Get("x") != 11 {
+		t.Error("mutating snapshot affected counters")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	a := map[string]int64{"x": 1, "gone": 5}
+	b := map[string]int64{"x": 4, "new": 7}
+	d := Delta(a, b)
+	if d["x"] != 3 || d["new"] != 7 || d["gone"] != -5 {
+		t.Errorf("Delta = %v", d)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Errorf("concurrent increments lost: %d", got)
+	}
+}
+
+func TestCountersStringSorted(t *testing.T) {
+	c := NewCounters()
+	c.Inc("zeta")
+	c.Inc("alpha")
+	s := c.String()
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Errorf("String not sorted:\n%s", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 25 {
+		t.Errorf("Ratio(1,4) = %g, want 25", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio with zero denominator = %g, want 0", got)
+	}
+	if got := RatioF(0.5, 2); got != 25 {
+		t.Errorf("RatioF = %g, want 25", got)
+	}
+	if got := RatioF(1, 0); got != 0 {
+		t.Errorf("RatioF zero den = %g, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Metric", "Paper", "Measured")
+	tb.AddRow("throughput", "8.0", "7.9")
+	tb.AddRowf("miss ratio", "%.1f", 41.4, 40.2)
+	out := tb.String()
+	for _, want := range []string{"Table X", "Metric", "throughput", "41.4", "40.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{500, "500B"},
+		{2048, "2.0K"},
+		{3 << 20, "3.0M"},
+		{5 << 30, "5.0G"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.n); got != c.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

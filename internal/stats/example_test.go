@@ -1,0 +1,37 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"spritefs/internal/stats"
+)
+
+// Demonstrates the dual-weighted histograms behind Figures 1, 2 and 4:
+// the same samples, weighted by count and by bytes, tell the paper's
+// "most files are small / most bytes are in big files" story.
+func ExampleHist() {
+	byFiles := stats.NewHist(1, 1e8, 8)
+	byBytes := stats.NewHist(1, 1e8, 8)
+	sizes := []float64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 20 << 20} // four small, one 20 MB
+	for _, s := range sizes {
+		byFiles.Add1(s)
+		byBytes.Add(s, s)
+	}
+	fmt.Printf("files <= 10KB: %.0f%%\n", 100*byFiles.FracAtOrBelow(10<<10))
+	fmt.Printf("bytes in files <= 10KB: %.1f%%\n", 100*byBytes.FracAtOrBelow(10<<10))
+	// Output:
+	// files <= 10KB: 80%
+	// bytes in files <= 10KB: 0.1%
+}
+
+// Demonstrates the streaming mean/stddev accumulator used by every
+// counter aggregation.
+func ExampleWelford() {
+	var w stats.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("n=%d mean=%g stddev=%g\n", w.N(), w.Mean(), w.Stddev())
+	// Output:
+	// n=8 mean=5 stddev=2
+}

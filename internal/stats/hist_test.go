@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistPanicsOnBadBounds(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		per    int
+	}{
+		{0, 10, 4}, {-1, 10, 4}, {10, 10, 4}, {10, 5, 4}, {1, 10, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHist(%g,%g,%d) did not panic", c.lo, c.hi, c.per)
+				}
+			}()
+			NewHist(c.lo, c.hi, c.per)
+		}()
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(1, 1e6, 4)
+	if h.Total() != 0 || h.N() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	if cdf := h.CDF(); len(cdf) != 0 {
+		t.Errorf("empty histogram CDF has %d points", len(cdf))
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", q)
+	}
+	if f := h.FracAtOrBelow(10); f != 0 {
+		t.Errorf("empty histogram FracAtOrBelow = %g, want 0", f)
+	}
+}
+
+func TestHistIgnoresNonPositiveWeight(t *testing.T) {
+	h := NewHist(1, 1e3, 4)
+	h.Add(10, 0)
+	h.Add(10, -5)
+	if h.Total() != 0 {
+		t.Errorf("non-positive weights were recorded: total=%g", h.Total())
+	}
+}
+
+func TestHistCDFMonotoneAndEndsAtOne(t *testing.T) {
+	h := NewHist(1, 1e6, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Add(math.Pow(10, rng.Float64()*7-0.5), rng.Float64()*10+0.1)
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevX, prevF := 0.0, 0.0
+	for _, p := range cdf {
+		if p.X < prevX {
+			t.Fatalf("CDF X not monotone: %g after %g", p.X, prevX)
+		}
+		if p.Frac < prevF-1e-12 {
+			t.Fatalf("CDF Frac not monotone: %g after %g", p.Frac, prevF)
+		}
+		prevX, prevF = p.X, p.Frac
+	}
+	if last := cdf[len(cdf)-1].Frac; math.Abs(last-1) > 1e-9 {
+		t.Errorf("CDF does not end at 1: %g", last)
+	}
+}
+
+func TestHistUnderOverflow(t *testing.T) {
+	h := NewHist(10, 1000, 4)
+	h.Add1(1)    // underflow
+	h.Add1(5000) // overflow
+	h.Add1(100)
+	if got := h.FracAtOrBelow(9); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("underflow fraction = %g, want 1/3", got)
+	}
+	if got := h.FracAtOrBelow(2000); math.Abs(got-1) > 1e-9 {
+		t.Errorf("fraction at overflow = %g, want 1", got)
+	}
+}
+
+// Property: Hist quantiles agree with ExactCDF quantiles to within one
+// bucket's relative width.
+func TestHistQuantileMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHist(1, 1e6, 16)
+		var e ExactCDF
+		for i := 0; i < 500; i++ {
+			v := math.Pow(10, rng.Float64()*5.5)
+			w := rng.Float64() + 0.01
+			h.Add(v, w)
+			e.Add(v, w)
+		}
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			hq := h.Quantile(p)
+			eq := e.Quantile(p)
+			// One bucket is a factor of 10^(1/16) ~ 1.155; allow two.
+			if hq < eq/1.34 || hq > eq*1.34 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FracAtOrBelow is consistent with Quantile (approximate inverse).
+func TestHistFracQuantileInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHist(1, 1e6, 8)
+		for i := 0; i < 200; i++ {
+			h.Add1(math.Pow(10, rng.Float64()*5.9))
+		}
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			q := h.Quantile(p)
+			if h.FracAtOrBelow(q) < p-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(1, 1e4, 4)
+	b := NewHist(1, 1e4, 4)
+	all := NewHist(1, 1e4, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		v := math.Pow(10, rng.Float64()*4)
+		if i%2 == 0 {
+			a.Add1(v)
+		} else {
+			b.Add1(v)
+		}
+		all.Add1(v)
+	}
+	a.Merge(b)
+	if a.Total() != all.Total() {
+		t.Errorf("merged total %g != %g", a.Total(), all.Total())
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Errorf("quantile %g mismatch after merge", p)
+		}
+	}
+}
+
+func TestHistMergeGeometryPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging incompatible histograms did not panic")
+		}
+	}()
+	NewHist(1, 1e4, 4).Merge(NewHist(1, 1e5, 4))
+}
+
+func TestExactCDFQuantile(t *testing.T) {
+	var e ExactCDF
+	for _, v := range []float64{1, 2, 3, 4} {
+		e.Add(v, 1)
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("median = %g, want 2", q)
+	}
+	if q := e.Quantile(1.0); q != 4 {
+		t.Errorf("p100 = %g, want 4", q)
+	}
+	if f := e.FracAtOrBelow(2.5); f != 0.5 {
+		t.Errorf("FracAtOrBelow(2.5) = %g, want 0.5", f)
+	}
+}
+
+func TestExactCDFByteWeighted(t *testing.T) {
+	// One 1 KB file and one 1 MB file: by files the median is small, by
+	// bytes nearly all weight is in the large file — the Figure 2 effect.
+	var byFiles, byBytes ExactCDF
+	for _, sz := range []float64{1024, 1 << 20} {
+		byFiles.Add(sz, 1)
+		byBytes.Add(sz, sz)
+	}
+	if f := byFiles.FracAtOrBelow(2048); f != 0.5 {
+		t.Errorf("by-files frac = %g, want 0.5", f)
+	}
+	if f := byBytes.FracAtOrBelow(2048); f > 0.01 {
+		t.Errorf("by-bytes frac = %g, want ~0.001", f)
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "time"
+
+// IntervalAgg divides a time axis into fixed-width intervals and accumulates
+// a float64 per (interval, key) pair. It drives Table 2 of the paper, where
+// each trace is split into 10-minute and 10-second intervals and per-user
+// throughput is computed per interval.
+type IntervalAgg struct {
+	width time.Duration
+	// cells maps interval index -> key -> accumulated value.
+	cells map[int64]map[int]float64
+}
+
+// NewIntervalAgg returns an aggregator with the given interval width.
+// It panics on a non-positive width.
+func NewIntervalAgg(width time.Duration) *IntervalAgg {
+	if width <= 0 {
+		panic("stats: non-positive interval width")
+	}
+	return &IntervalAgg{width: width, cells: make(map[int64]map[int]float64)}
+}
+
+// Index returns the interval index containing time t.
+func (a *IntervalAgg) Index(t time.Duration) int64 { return int64(t / a.width) }
+
+// Add accumulates v for key at time t. Keys are small integers (user IDs).
+func (a *IntervalAgg) Add(t time.Duration, key int, v float64) {
+	idx := a.Index(t)
+	m := a.cells[idx]
+	if m == nil {
+		m = make(map[int]float64)
+		a.cells[idx] = m
+	}
+	m[key] += v
+}
+
+// Touch marks (interval, key) as active without adding value. A user with a
+// trace record but zero bytes in an interval still counts as active.
+func (a *IntervalAgg) Touch(t time.Duration, key int) { a.Add(t, key, 0) }
+
+// NumIntervals returns the number of intervals with at least one active key.
+func (a *IntervalAgg) NumIntervals() int { return len(a.cells) }
+
+// Width returns the interval width.
+func (a *IntervalAgg) Width() time.Duration { return a.width }
+
+// Summary describes the per-interval activity statistics that Table 2
+// reports for one interval width.
+type Summary struct {
+	// ActiveUsers aggregates the number of active keys per interval.
+	ActiveUsers Welford
+	// MaxActive is the maximum number of simultaneously active keys.
+	MaxActive int
+	// PerUser aggregates per-(interval,key) accumulated values: each
+	// user-interval is one observation, matching the paper's "standard
+	// deviations of each user-interval from the long-term average across
+	// all user-intervals".
+	PerUser Welford
+	// PeakUser is the largest single (interval,key) value.
+	PeakUser float64
+	// PeakTotal is the largest per-interval sum over keys.
+	PeakTotal float64
+}
+
+// Summarize computes activity statistics over all populated intervals.
+func (a *IntervalAgg) Summarize() Summary {
+	var s Summary
+	for _, m := range a.cells {
+		if len(m) > s.MaxActive {
+			s.MaxActive = len(m)
+		}
+		s.ActiveUsers.Add(float64(len(m)))
+		total := 0.0
+		for _, v := range m {
+			s.PerUser.Add(v)
+			if v > s.PeakUser {
+				s.PeakUser = v
+			}
+			total += v
+		}
+		if total > s.PeakTotal {
+			s.PeakTotal = total
+		}
+	}
+	return s
+}

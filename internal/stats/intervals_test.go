@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIntervalAggPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero width")
+		}
+	}()
+	NewIntervalAgg(0)
+}
+
+func TestIntervalAggBasic(t *testing.T) {
+	a := NewIntervalAgg(10 * time.Second)
+	// Two users in interval 0, one in interval 1.
+	a.Add(1*time.Second, 1, 100)
+	a.Add(2*time.Second, 2, 200)
+	a.Add(9*time.Second, 1, 50)
+	a.Add(11*time.Second, 1, 300)
+
+	if n := a.NumIntervals(); n != 2 {
+		t.Errorf("NumIntervals = %d, want 2", n)
+	}
+	s := a.Summarize()
+	if s.MaxActive != 2 {
+		t.Errorf("MaxActive = %d, want 2", s.MaxActive)
+	}
+	if got := s.ActiveUsers.Mean(); got != 1.5 {
+		t.Errorf("mean active users = %g, want 1.5", got)
+	}
+	// User-intervals: (1,i0)=150, (2,i0)=200, (1,i1)=300.
+	if s.PerUser.N() != 3 {
+		t.Errorf("user-intervals = %d, want 3", s.PerUser.N())
+	}
+	if s.PeakUser != 300 {
+		t.Errorf("PeakUser = %g, want 300", s.PeakUser)
+	}
+	if s.PeakTotal != 350 {
+		t.Errorf("PeakTotal = %g, want 350", s.PeakTotal)
+	}
+}
+
+func TestIntervalAggTouch(t *testing.T) {
+	a := NewIntervalAgg(time.Minute)
+	a.Touch(30*time.Second, 7)
+	s := a.Summarize()
+	if s.MaxActive != 1 {
+		t.Errorf("Touch did not mark user active: MaxActive = %d", s.MaxActive)
+	}
+	if s.PerUser.Sum() != 0 {
+		t.Errorf("Touch added value: %g", s.PerUser.Sum())
+	}
+}
+
+func TestIntervalBoundaries(t *testing.T) {
+	a := NewIntervalAgg(10 * time.Second)
+	if a.Index(0) != 0 || a.Index(9999*time.Millisecond) != 0 {
+		t.Error("values inside first interval mis-indexed")
+	}
+	if a.Index(10*time.Second) != 1 {
+		t.Error("boundary value should open a new interval")
+	}
+}
+
+func TestEmptyIntervalsNotCounted(t *testing.T) {
+	// The paper averages over intervals with activity; silent intervals
+	// between bursts must not dilute the per-interval statistics.
+	a := NewIntervalAgg(10 * time.Second)
+	a.Add(5*time.Second, 1, 10)
+	a.Add(95*time.Second, 1, 10)
+	if n := a.NumIntervals(); n != 2 {
+		t.Errorf("NumIntervals = %d, want 2 (gaps must not count)", n)
+	}
+}

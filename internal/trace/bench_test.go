@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := Record{Time: time.Second, Kind: KindRead, File: 7, Handle: 9, Length: 4096}
+	b.SetBytes(recordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := Record{Time: time.Second, Kind: KindRead, File: 7, Length: 4096}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w.Write(&rec)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(recordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += n {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkMerge4Way(b *testing.B) {
+	const per = 10000
+	mk := func(start int) []Record {
+		recs := make([]Record, per)
+		for i := range recs {
+			recs[i] = Record{Time: time.Duration(start+i*4) * time.Millisecond, Kind: KindOpen}
+		}
+		return recs
+	}
+	parts := [][]Record{mk(0), mk(1), mk(2), mk(3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]Stream, len(parts))
+		for j := range parts {
+			streams[j] = NewSliceStream(parts[j])
+		}
+		m := Merge(streams...)
+		for {
+			if _, err := m.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

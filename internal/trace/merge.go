@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"container/heap"
+	"io"
+)
+
+// Merge combines several time-ordered streams (one per file server, as in
+// the paper's per-server trace files) into a single time-ordered stream via
+// a k-way merge. Ties are broken by input index so merging is deterministic.
+//
+// Merge also performs the paper's scrub step: records flagged FlagSelfTrace
+// (the tracing machinery's own writes and the nightly backup) are dropped.
+func Merge(streams ...Stream) Stream {
+	m := &merger{}
+	for i, s := range streams {
+		src := &mergeSrc{stream: s, idx: i}
+		if src.advance() {
+			m.h = append(m.h, src)
+		} else if src.err != nil && src.err != io.EOF {
+			m.err = src.err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+type mergeSrc struct {
+	stream Stream
+	idx    int
+	cur    Record
+	err    error
+}
+
+// advance fetches the next non-scrubbed record; it reports whether one is
+// available.
+func (s *mergeSrc) advance() bool {
+	for {
+		r, err := s.stream.Next()
+		if err != nil {
+			s.err = err
+			return false
+		}
+		if r.Flags&FlagSelfTrace != 0 {
+			continue
+		}
+		s.cur = r
+		return true
+	}
+}
+
+type merger struct {
+	h   srcHeap
+	err error
+}
+
+// Next implements Stream.
+func (m *merger) Next() (Record, error) {
+	if m.err != nil {
+		return Record{}, m.err
+	}
+	if len(m.h) == 0 {
+		return Record{}, io.EOF
+	}
+	src := m.h[0]
+	r := src.cur
+	if src.advance() {
+		heap.Fix(&m.h, 0)
+	} else {
+		if src.err != nil && src.err != io.EOF {
+			m.err = src.err
+			return Record{}, m.err
+		}
+		heap.Pop(&m.h)
+	}
+	return r, nil
+}
+
+type srcHeap []*mergeSrc
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	if h[i].cur.Time != h[j].cur.Time {
+		return h[i].cur.Time < h[j].cur.Time
+	}
+	return h[i].idx < h[j].idx
+}
+func (h srcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x any)   { *h = append(*h, x.(*mergeSrc)) }
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Filter returns a stream yielding only records for which keep returns true.
+func Filter(s Stream, keep func(*Record) bool) Stream {
+	return filterStream{s: s, keep: keep}
+}
+
+type filterStream struct {
+	s    Stream
+	keep func(*Record) bool
+}
+
+func (f filterStream) Next() (Record, error) {
+	for {
+		r, err := f.s.Next()
+		if err != nil {
+			return Record{}, err
+		}
+		if f.keep(&r) {
+			return r, nil
+		}
+	}
+}
+
+// ExcludeUsers returns a stream with all records of the given users removed.
+// The paper used this to re-run the analyses without the kernel-development
+// group (Section 4.2).
+func ExcludeUsers(s Stream, users ...int32) Stream {
+	drop := make(map[int32]bool, len(users))
+	for _, u := range users {
+		drop[u] = true
+	}
+	return Filter(s, func(r *Record) bool { return !drop[r.User] })
+}

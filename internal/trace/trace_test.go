@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord(i int) Record {
+	return Record{
+		Time:   time.Duration(i) * time.Millisecond,
+		Kind:   KindOpen,
+		Flags:  FlagReadMode,
+		Server: int16(i % 4),
+		Client: int32(i % 40),
+		User:   int32(i % 30),
+		Proc:   int32(1000 + i),
+		File:   uint64(i * 7),
+		Handle: uint64(i),
+		Offset: int64(i * 11),
+		Length: int64(i * 13),
+		Size:   int64(i * 17),
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindOpen.String() != "open" || KindDirRead.String() != "dirread" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+	if KindInvalid.Valid() || Kind(200).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if !KindClose.Valid() {
+		t.Error("KindClose reported invalid")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 100; i++ {
+		r := sampleRecord(i)
+		r.Kind = Kind(1 + i%(int(kindMax)-1))
+		want = append(want, r)
+		if err := w.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 100 {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCodecNegativeFields(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := Record{Kind: KindWrite, Offset: -5, Length: -7, Size: -9, Client: -1, User: -2, Server: -3}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Errorf("negative fields corrupted: %+v != %+v", got, rec)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := sampleRecord(1)
+	w.Write(&rec)
+	w.Flush()
+	b := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record not reported")
+	}
+}
+
+func TestReaderCorruptKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := sampleRecord(1)
+	w.Write(&rec)
+	w.Flush()
+	b := buf.Bytes()
+	b[8+8] = 99 // kind byte of first record (after 8-byte header)
+	r, _ := NewReader(bytes.NewReader(b))
+	if _, err := r.Next(); err == nil {
+		t.Error("corrupt kind not reported")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	recs := []Record{sampleRecord(0), sampleRecord(1)}
+	s := NewSliceStream(recs)
+	got, err := Collect(s)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Collect: %v, %d records", err, len(got))
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("drained stream error = %v, want EOF", err)
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	mk := func(times ...int) Stream {
+		var recs []Record
+		for _, ms := range times {
+			recs = append(recs, Record{Time: time.Duration(ms) * time.Millisecond, Kind: KindOpen})
+		}
+		return NewSliceStream(recs)
+	}
+	merged, err := Collect(Merge(mk(1, 4, 9), mk(2, 3, 10), mk(), mk(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []int
+	for _, r := range merged {
+		times = append(times, int(r.Time/time.Millisecond))
+	}
+	if !sort.IntsAreSorted(times) {
+		t.Errorf("merged times not sorted: %v", times)
+	}
+	if len(times) != 7 {
+		t.Errorf("got %d records, want 7", len(times))
+	}
+}
+
+func TestMergeScrubsSelfTrace(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Kind: KindOpen},
+		{Time: 2, Kind: KindWrite, Flags: FlagSelfTrace},
+		{Time: 3, Kind: KindClose},
+	}
+	got, err := Collect(Merge(NewSliceStream(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("self-trace record not scrubbed: %d records", len(got))
+	}
+	for _, r := range got {
+		if r.Flags&FlagSelfTrace != 0 {
+			t.Error("self-trace record leaked through merge")
+		}
+	}
+}
+
+func TestMergeTieBreakDeterministic(t *testing.T) {
+	a := []Record{{Time: 5, Kind: KindOpen, Server: 0}}
+	b := []Record{{Time: 5, Kind: KindOpen, Server: 1}}
+	got, _ := Collect(Merge(NewSliceStream(a), NewSliceStream(b)))
+	if got[0].Server != 0 || got[1].Server != 1 {
+		t.Error("tie-break not by stream index")
+	}
+}
+
+// Property: merging randomly split sorted streams reproduces the original.
+func TestMergeSplitRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int(n)%200 + 1
+		var all []Record
+		tm := time.Duration(0)
+		for i := 0; i < total; i++ {
+			tm += time.Duration(rng.Intn(1000)) * time.Microsecond
+			all = append(all, Record{Time: tm, Kind: KindOpen, File: uint64(i)})
+		}
+		k := rng.Intn(4) + 1
+		parts := make([][]Record, k)
+		for _, r := range all {
+			i := rng.Intn(k)
+			parts[i] = append(parts[i], r)
+		}
+		streams := make([]Stream, k)
+		for i := range parts {
+			streams[i] = NewSliceStream(parts[i])
+		}
+		merged, err := Collect(Merge(streams...))
+		if err != nil || len(merged) != total {
+			return false
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Time < merged[i-1].Time {
+				return false
+			}
+		}
+		// Same multiset of file ids.
+		seen := make(map[uint64]int)
+		for _, r := range merged {
+			seen[r.File]++
+		}
+		for _, r := range all {
+			seen[r.File]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterAndExcludeUsers(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Kind: KindOpen, User: 1},
+		{Time: 2, Kind: KindOpen, User: 2},
+		{Time: 3, Kind: KindOpen, User: 3},
+	}
+	got, _ := Collect(ExcludeUsers(NewSliceStream(recs), 2))
+	if len(got) != 2 || got[0].User != 1 || got[1].User != 3 {
+		t.Errorf("ExcludeUsers wrong: %v", got)
+	}
+	onlyOpens, _ := Collect(Filter(NewSliceStream(recs), func(r *Record) bool { return r.User > 2 }))
+	if len(onlyOpens) != 1 {
+		t.Errorf("Filter wrong: %v", onlyOpens)
+	}
+}
+
+func TestMergeThroughCodec(t *testing.T) {
+	// End-to-end: write two per-server binary traces, read them back,
+	// merge, verify ordering — the cmd/traceanalyze pipeline in miniature.
+	var bufs [2]bytes.Buffer
+	for srv := 0; srv < 2; srv++ {
+		w, _ := NewWriter(&bufs[srv])
+		for i := 0; i < 50; i++ {
+			r := Record{Time: time.Duration(i*2+srv) * time.Second, Kind: KindOpen, Server: int16(srv)}
+			w.Write(&r)
+		}
+		w.Flush()
+	}
+	r0, _ := NewReader(&bufs[0])
+	r1, _ := NewReader(&bufs[1])
+	got, err := Collect(Merge(r0, r1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatal("merged codec streams out of order")
+		}
+	}
+}

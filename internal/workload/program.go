@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"time"
+)
+
+// Host is the slice of the client kernel interface the workload drives.
+// *client.Client satisfies it; the indirection keeps the workload free of
+// any dependency on the cluster machinery so it can be unit-tested against
+// a fake host.
+type Host interface {
+	ID() int32
+	Create(user, proc int32, dir, migrated bool) uint64
+	Open(user, proc int32, file uint64, read, write, migrated bool) (uint64, time.Duration, error)
+	Read(handle uint64, n int64) (int64, time.Duration)
+	Write(handle uint64, n int64) time.Duration
+	Seek(handle uint64, pos int64) time.Duration
+	Fsync(handle uint64) time.Duration
+	Close(handle uint64) (time.Duration, error)
+	Delete(user, proc int32, file uint64, migrated bool)
+	Truncate(user, proc int32, file uint64, migrated bool)
+	ExecProcess(pid int32, execFile uint64, codePages, dataPages, stackPages int, migrated bool)
+	TouchProcess(pid int32, growHeap int)
+	ExitProcess(pid int32)
+	EvictMigrated(pid int32)
+	// FileSize returns the current size of a file (0 if unknown); the
+	// engine uses it to resolve append and random seek positions.
+	FileSize(file uint64) int64
+}
+
+// fileRef names a file either statically (a pre-existing file id) or by a
+// runtime slot (a file the program itself creates).
+type fileRef struct {
+	id   uint64
+	slot int
+}
+
+func staticFile(id uint64) fileRef { return fileRef{id: id, slot: -1} }
+func slotFile(s int) fileRef       { return fileRef{slot: s} }
+
+type opKind uint8
+
+const (
+	opExec opKind = iota
+	opOpen
+	opRead
+	opWrite
+	opSeek
+	opFsync
+	opClose
+	opCreate
+	opDelete
+	opTruncate
+	opThink
+	opTouch
+	opExit
+	// opDeletePrev deletes the output file registered by the user's
+	// previous run of the same application (build outputs are replaced by
+	// the next build, not removed by their producer — this is what gives
+	// deleted bytes their minutes-long lifetimes in Figure 4).
+	opDeletePrev
+	// opRegister records a created file as the run's output for the next
+	// run's opDeletePrev.
+	opRegister
+)
+
+// op is one step of an application program. Programs are generated up
+// front (sizes and sequences drawn from the parameter distributions) and
+// interpreted one event at a time by the engine, so every kernel call
+// lands at a distinct virtual time.
+type op struct {
+	kind   opKind
+	slot   int // handle slot
+	file   fileRef
+	read   bool
+	write  bool
+	dir    bool
+	bytes  int64
+	offset int64
+	dur    time.Duration
+	codeP  int
+	dataP  int
+	stackP int
+	grow   int
+}
+
+// progBuilder assembles op programs.
+type progBuilder struct {
+	ops       []op
+	handles   int
+	fileSlots int
+	chunk     int64
+}
+
+func newBuilder(chunk int64) *progBuilder {
+	if chunk <= 0 {
+		chunk = 256 * 1024
+	}
+	return &progBuilder{chunk: chunk}
+}
+
+func (b *progBuilder) exec(bin Binary, stackP int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opExec, file: staticFile(bin.File), codeP: bin.CodePages, dataP: bin.DataPages, stackP: stackP})
+	return b
+}
+
+func (b *progBuilder) open(f fileRef, read, write bool) int {
+	s := b.handles
+	b.handles++
+	b.ops = append(b.ops, op{kind: opOpen, slot: s, file: f, read: read, write: write})
+	return s
+}
+
+// readSeq reads total bytes sequentially in chunk-sized kernel calls.
+func (b *progBuilder) readSeq(slot int, total int64) *progBuilder {
+	for total > 0 {
+		n := total
+		if n > b.chunk {
+			n = b.chunk
+		}
+		b.ops = append(b.ops, op{kind: opRead, slot: slot, bytes: n})
+		total -= n
+	}
+	return b
+}
+
+// readAll reads from the current position to end of file, chunked at
+// runtime (the file's size is not known at generation time).
+func (b *progBuilder) readAll(slot int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opRead, slot: slot, bytes: readToEOF})
+	return b
+}
+
+// Sentinel byte counts and seek positions resolved by the engine at
+// runtime.
+const (
+	readToEOF  = -1 // opRead: read chunk-by-chunk until EOF
+	seekEnd    = -1 // opSeek: position at end of file (append)
+	seekRandom = -2 // opSeek: uniform random position within the file
+)
+
+// writeSeq writes total bytes sequentially in chunk-sized kernel calls.
+func (b *progBuilder) writeSeq(slot int, total int64) *progBuilder {
+	for total > 0 {
+		n := total
+		if n > b.chunk {
+			n = b.chunk
+		}
+		b.ops = append(b.ops, op{kind: opWrite, slot: slot, bytes: n})
+		total -= n
+	}
+	return b
+}
+
+func (b *progBuilder) read(slot int, n int64) *progBuilder {
+	b.ops = append(b.ops, op{kind: opRead, slot: slot, bytes: n})
+	return b
+}
+
+func (b *progBuilder) write(slot int, n int64) *progBuilder {
+	b.ops = append(b.ops, op{kind: opWrite, slot: slot, bytes: n})
+	return b
+}
+
+func (b *progBuilder) seek(slot int, pos int64) *progBuilder {
+	b.ops = append(b.ops, op{kind: opSeek, slot: slot, offset: pos})
+	return b
+}
+
+func (b *progBuilder) fsync(slot int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opFsync, slot: slot})
+	return b
+}
+
+func (b *progBuilder) close(slot int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opClose, slot: slot})
+	return b
+}
+
+func (b *progBuilder) create(dir bool) int {
+	s := b.fileSlots
+	b.fileSlots++
+	b.ops = append(b.ops, op{kind: opCreate, slot: s, dir: dir})
+	return s
+}
+
+func (b *progBuilder) deleteFile(f fileRef) *progBuilder {
+	b.ops = append(b.ops, op{kind: opDelete, file: f})
+	return b
+}
+
+func (b *progBuilder) truncate(f fileRef) *progBuilder {
+	b.ops = append(b.ops, op{kind: opTruncate, file: f})
+	return b
+}
+
+func (b *progBuilder) deletePrev() *progBuilder {
+	b.ops = append(b.ops, op{kind: opDeletePrev})
+	return b
+}
+
+func (b *progBuilder) register(fileSlot int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opRegister, slot: fileSlot})
+	return b
+}
+
+func (b *progBuilder) think(d time.Duration) *progBuilder {
+	if d > 0 {
+		b.ops = append(b.ops, op{kind: opThink, dur: d})
+	}
+	return b
+}
+
+func (b *progBuilder) touch(growHeap int) *progBuilder {
+	b.ops = append(b.ops, op{kind: opTouch, grow: growHeap})
+	return b
+}
+
+func (b *progBuilder) exit() []op {
+	b.ops = append(b.ops, op{kind: opExit})
+	return b.ops
+}
+
+// program is a running application instance.
+type program struct {
+	user     int32
+	pid      int32
+	app      AppKind
+	host     Host
+	rate     float64 // processing rate, bytes/second
+	migrated bool
+
+	// Image parameters, kept for re-exec after migration eviction.
+	execFile             uint64
+	codeP, dataP, stackP int
+
+	ops     []op
+	idx     int
+	handles []uint64
+	files   []uint64
+	aborted bool
+	done    func()
+}

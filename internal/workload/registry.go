@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"spritefs/internal/server"
+	"spritefs/internal/sim"
+	"spritefs/internal/vm"
+)
+
+// Binary is a program executable image living in the shared file system.
+type Binary struct {
+	File      uint64
+	Size      int64
+	CodePages int
+	DataPages int
+}
+
+// Registry is the pre-existing file population: system binaries, per-user
+// small files (sources, documents), mailboxes, per-group shared files and
+// directories, and the big-simulation users' input files. It is built
+// directly on the servers before tracing starts, exactly as the paper's
+// traced window began with a populated file system.
+type Registry struct {
+	Binaries []Binary
+	// KernelImages are the 2-10 MB kernel binaries the OS group works
+	// with (the paper checked they were not skewing the size results).
+	KernelImages []uint64
+
+	UserSmall map[int32][]uint64
+	// UserData are medium-sized per-user data files (simulation inputs,
+	// datasets) in the hundreds-of-kilobytes range.
+	UserData  map[int32][]uint64
+	Mailboxes map[int32]uint64
+	UserDirs  map[int32]uint64
+
+	GroupShared [NumGroups][]uint64
+	GroupDirs   [NumGroups]uint64
+
+	// BigInputs[i] are the input files of big-sim user i (20 MB class).
+	BigInputs [][]uint64
+
+	// AllFiles lists every file for the nightly backup pass.
+	AllFiles []uint64
+}
+
+// Bootstrap creates the initial file population spread across the servers,
+// with most files on server 0 (the paper's dominant Sun 4). Sizes are
+// drawn from the Params distributions.
+func Bootstrap(p Params, servers []*server.Server, rng *sim.Rand) *Registry {
+	if len(servers) == 0 {
+		panic("workload: no servers")
+	}
+	r := &Registry{
+		UserSmall: make(map[int32][]uint64),
+		UserData:  make(map[int32][]uint64),
+		Mailboxes: make(map[int32]uint64),
+		UserDirs:  make(map[int32]uint64),
+	}
+	// Server selection: 70% of files on server 0, the rest spread.
+	pick := func() *server.Server {
+		if len(servers) == 1 || rng.Bool(0.7) {
+			return servers[0]
+		}
+		return servers[1+rng.Intn(len(servers)-1)]
+	}
+	mk := func(size int64) uint64 {
+		srv := pick()
+		f := srv.Create(false, 0)
+		srv.Grow(f.ID, size, 0)
+		r.AllFiles = append(r.AllFiles, f.ID)
+		return f.ID
+	}
+	mkDir := func(size int64) uint64 {
+		srv := pick()
+		f := srv.Create(true, 0)
+		srv.Grow(f.ID, size, 0)
+		return f.ID
+	}
+
+	// System binaries: the common tools everyone execs.
+	const numBinaries = 24
+	for i := 0; i < numBinaries; i++ {
+		code := p.CodePagesMin + rng.Intn(p.CodePagesMax-p.CodePagesMin+1)
+		data := p.DataPagesMin + rng.Intn(p.DataPagesMax-p.DataPagesMin+1)
+		size := int64(code+data) * vm.PageSize
+		r.Binaries = append(r.Binaries, Binary{File: mk(size), Size: size, CodePages: code, DataPages: data})
+	}
+	// Kernel images for the OS group: 2-10 MB.
+	for i := 0; i < 6; i++ {
+		size := int64(rng.Range(2, 10) * (1 << 20))
+		r.KernelImages = append(r.KernelImages, mk(size))
+	}
+
+	nUsers := int32(p.DailyUsers + p.OccasionalUsers)
+	for u := int32(0); u < nUsers; u++ {
+		nFiles := 8 + rng.Intn(16)
+		for i := 0; i < nFiles; i++ {
+			r.UserSmall[u] = append(r.UserSmall[u], mk(int64(rng.LogNormal(p.SmallMedian, p.SmallSigma))+1))
+		}
+		r.Mailboxes[u] = mk(int64(rng.LogNormal(p.MailMedian, p.MailSigma)) + 1)
+		r.UserDirs[u] = mkDir(int64(rng.Range(4096, 32768)))
+		nData := 2 + rng.Intn(3)
+		for i := 0; i < nData; i++ {
+			r.UserData[u] = append(r.UserData[u], mk(int64(rng.LogNormal(256*1024, 1.0))+1))
+		}
+	}
+
+	for g := Group(0); g < NumGroups; g++ {
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			r.GroupShared[g] = append(r.GroupShared[g], mk(int64(rng.LogNormal(6*1024, 1.0))+1))
+		}
+		r.GroupDirs[g] = mkDir(int64(rng.Range(8192, 32768)))
+	}
+
+	for i := 0; i < p.BigSimUsers; i++ {
+		var inputs []uint64
+		for j := 0; j < 3; j++ {
+			size := int64(rng.Range(0.8, 1.2) * p.SimInputMB * (1 << 20))
+			inputs = append(inputs, mk(size))
+		}
+		r.BigInputs = append(r.BigInputs, inputs)
+	}
+	return r
+}
+
+// RandomBinary picks a system binary. Selection is heavily skewed toward
+// the first few "hot" tools (shell, editor, compiler driver) — everyone
+// runs the same handful of programs, which is why Sprite's code-page
+// retention and file-cache checks on code faults pay off (Table 6's
+// paging hit rate).
+func (r *Registry) RandomBinary(rng *sim.Rand) Binary {
+	if len(r.Binaries) > 6 && rng.Bool(0.85) {
+		return r.Binaries[rng.Intn(6)]
+	}
+	return r.Binaries[rng.Intn(len(r.Binaries))]
+}
+
+// RandomData picks one of the user's medium data files.
+func (r *Registry) RandomData(rng *sim.Rand, user int32) (uint64, bool) {
+	files := r.UserData[user]
+	if len(files) == 0 {
+		return 0, false
+	}
+	return files[rng.Intn(len(files))], true
+}
+
+// RandomSmall picks one of the user's small files.
+func (r *Registry) RandomSmall(rng *sim.Rand, user int32) (uint64, bool) {
+	files := r.UserSmall[user]
+	if len(files) == 0 {
+		return 0, false
+	}
+	return files[rng.Intn(len(files))], true
+}
+
+// RandomShared picks one of the group's shared files.
+func (r *Registry) RandomShared(rng *sim.Rand, g Group) (uint64, bool) {
+	files := r.GroupShared[g]
+	if len(files) == 0 {
+		return 0, false
+	}
+	return files[rng.Intn(len(files))], true
+}
