@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race experiments section4 section5 clean
+.PHONY: all check build vet test bench race experiments section4 section5 clean
 
-all: build vet test
+all: check
+
+# The gate every change must pass: compile, static checks, tests, and the
+# race detector over the full module.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/stats ./internal/sim ./internal/trace
+	$(GO) test -race ./...
 
 # One iteration of every table/figure benchmark (reduced scale).
 bench:

@@ -1,0 +1,313 @@
+// Command replay re-executes captured traces against the simulated
+// cluster — the paper's Section 5 methodology as a tool: hold the
+// reference string fixed, vary the cache and consistency parameters, and
+// read the effect straight off the counter tables.
+//
+// Replay one trace (all per-server files merged) at recorded speed:
+//
+//	replay -trace 'trace1.srv0,trace1.srv1,trace1.srv2,trace1.srv3'
+//
+// Replay as fast as possible and print the full counter tables:
+//
+//	replay -trace trace1.srv0 -speed 0 -report tables
+//
+// Sweep cache sizes over 8 worker goroutines, TSV aggregate report:
+//
+//	replay -trace trace1.srv0 -sweep cache=512,2048,8192 -workers 8 -report tsv
+//
+// Sweep axes: cache=<pages,...>, wb=<durations,...> (writeback delay),
+// mode=<sprite|poll,...> (consistency), poll=<durations,...> (validity
+// window, implies mode poll). Trace files may be binary or text; the
+// format is auto-detected per file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/replay"
+	"spritefs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		tracePaths = fs.String("trace", "", "comma-separated trace files (binary or text; merged in time order)")
+		speed      = fs.Float64("speed", 1, "time scale: 2 = twice recorded speed, 0 = as fast as possible")
+		sweep      = fs.String("sweep", "", "sweep axis, e.g. cache=512,2048,8192 | wb=5s,30s | mode=sprite,poll | poll=5s,30s")
+		workers    = fs.Int("workers", runtime.NumCPU(), "worker goroutines for -sweep")
+		report     = fs.String("report", "summary", "report style: summary | tables | tsv")
+		servers    = fs.Int("servers", 4, "number of file servers")
+		seed       = fs.Int64("seed", 1, "simulator seed")
+		cache      = fs.Int("cache", 0, "fixed client cache size in 4 KB pages (0 = dynamic)")
+		mode       = fs.String("mode", "sprite", "consistency mode: sprite | poll")
+		poll       = fs.Duration("poll", 3*time.Second, "validity window for -mode poll")
+		wb         = fs.Duration("wb", 0, "writeback delay override (0 = the 30s default)")
+		prefetch   = fs.Int("prefetch", 0, "sequential prefetch blocks")
+		clientsCSV = fs.String("clients", "", "replay only these client ids (comma-separated)")
+		kindsCSV   = fs.String("kinds", "", "replay only these record kinds (comma-separated names)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := splitCSV(*tracePaths)
+	paths = append(paths, fs.Args()...)
+	if len(paths) == 0 {
+		return fmt.Errorf("no trace files (use -trace)")
+	}
+
+	base := replay.Config{
+		Name:            "base",
+		NumServers:      *servers,
+		Seed:            *seed,
+		FixedCachePages: *cache,
+		WritebackDelay:  *wb,
+		PrefetchBlocks:  *prefetch,
+		PollInterval:    *poll,
+	}
+	switch *mode {
+	case "sprite":
+		base.Consistency = client.ConsistencySprite
+	case "poll":
+		base.Consistency = client.ConsistencyPoll
+	default:
+		return fmt.Errorf("unknown consistency mode %q", *mode)
+	}
+	if *speed <= 0 {
+		base.AsFastAsPossible = true
+	} else {
+		base.Speed = *speed
+	}
+	keep, err := buildFilter(*clientsCSV, *kindsCSV)
+	if err != nil {
+		return err
+	}
+	base.Keep = keep
+
+	stream, closeAll, err := openTraces(paths)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	if *sweep == "" {
+		res, err := replay.Run(base, stream)
+		if err != nil {
+			return err
+		}
+		return printResults(out, []*replay.Result{res}, *report)
+	}
+
+	// Sweeps replay the merged trace many times, so it must be resident.
+	recs, err := trace.Collect(stream)
+	if err != nil {
+		return err
+	}
+	cfgs, err := sweepConfigs(base, *sweep)
+	if err != nil {
+		return err
+	}
+	results, err := replay.RunSweep(recs, cfgs, *workers)
+	if err != nil {
+		return err
+	}
+	return printResults(out, results, *report)
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// openTrace opens one trace file, sniffing binary ('S' of the SPRTRC
+// magic) versus text ('#' of the header line) from the first byte.
+func openTrace(path string) (trace.Stream, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var s trace.Stream
+	if first[0] == '#' {
+		s, err = trace.NewTextReader(br)
+	} else {
+		s, err = trace.NewReader(br)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, f, nil
+}
+
+// openTraces opens every file and merges them into one time-ordered
+// stream, as the analysis pipeline merges per-server trace files.
+func openTraces(paths []string) (trace.Stream, func(), error) {
+	var (
+		streams []trace.Stream
+		closers []io.Closer
+	)
+	closeAll := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	for _, p := range paths {
+		s, c, err := openTrace(p)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		streams = append(streams, s)
+		closers = append(closers, c)
+	}
+	return trace.Merge(streams...), closeAll, nil
+}
+
+func buildFilter(clientsCSV, kindsCSV string) (func(*trace.Record) bool, error) {
+	var filters []func(*trace.Record) bool
+	if ids := splitCSV(clientsCSV); len(ids) > 0 {
+		parsed := make([]int32, 0, len(ids))
+		for _, s := range ids {
+			n, err := strconv.ParseInt(s, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad client id %q", s)
+			}
+			parsed = append(parsed, int32(n))
+		}
+		filters = append(filters, replay.KeepClients(parsed...))
+	}
+	if names := splitCSV(kindsCSV); len(names) > 0 {
+		kinds := make([]trace.Kind, 0, len(names))
+		for _, s := range names {
+			k, ok := trace.ParseKind(s)
+			if !ok {
+				return nil, fmt.Errorf("unknown record kind %q", s)
+			}
+			kinds = append(kinds, k)
+		}
+		filters = append(filters, replay.KeepKinds(kinds...))
+	}
+	switch len(filters) {
+	case 0:
+		return nil, nil
+	case 1:
+		return filters[0], nil
+	default:
+		return replay.And(filters...), nil
+	}
+}
+
+// sweepConfigs expands one "axis=v1,v2,..." spec into a configuration per
+// value, each derived from the base flags.
+func sweepConfigs(base replay.Config, spec string) ([]replay.Config, error) {
+	axis, list, ok := strings.Cut(spec, "=")
+	if !ok {
+		return nil, fmt.Errorf("bad sweep spec %q (want axis=v1,v2,...)", spec)
+	}
+	values := splitCSV(list)
+	if len(values) == 0 {
+		return nil, fmt.Errorf("sweep spec %q has no values", spec)
+	}
+	cfgs := make([]replay.Config, 0, len(values))
+	for _, v := range values {
+		c := base
+		switch axis {
+		case "cache":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad cache pages %q", v)
+			}
+			c.FixedCachePages = n
+			c.Name = "cache=" + v
+		case "wb":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("bad writeback delay %q", v)
+			}
+			c.WritebackDelay = d
+			c.Name = "wb=" + v
+		case "mode":
+			switch v {
+			case "sprite":
+				c.Consistency = client.ConsistencySprite
+			case "poll":
+				c.Consistency = client.ConsistencyPoll
+			default:
+				return nil, fmt.Errorf("unknown consistency mode %q", v)
+			}
+			c.Name = "mode=" + v
+		case "poll":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("bad poll interval %q", v)
+			}
+			c.Consistency = client.ConsistencyPoll
+			c.PollInterval = d
+			c.Name = "poll=" + v
+		default:
+			return nil, fmt.Errorf("unknown sweep axis %q (cache, wb, mode, poll)", axis)
+		}
+		cfgs = append(cfgs, c)
+	}
+	return cfgs, nil
+}
+
+func printResults(out io.Writer, results []*replay.Result, style string) error {
+	switch style {
+	case "tsv":
+		_, err := io.WriteString(out, replay.SweepTable(results).TSV())
+		return err
+	case "summary":
+		if len(results) == 1 {
+			if _, err := fmt.Fprintln(out, replay.ReplayTable(results[0])); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(out, replay.SweepTable(results))
+		return err
+	case "tables":
+		for _, r := range results {
+			name := r.Config.Name
+			if _, err := fmt.Fprintf(out, "=== %s ===\n%s\n", name, replay.ReplayTable(r)); err != nil {
+				return err
+			}
+			for _, t := range replay.ReportTables(&r.Report) {
+				if _, err := fmt.Fprintln(out, t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown report style %q (summary, tables, tsv)", style)
+	}
+}

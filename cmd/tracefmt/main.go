@@ -36,28 +36,33 @@ func run(path string, encode bool) error {
 		return err
 	}
 	defer f.Close()
+	return convert(f, os.Stdout, encode)
+}
 
+// convert copies a whole trace from in to out, decoding binary to text or
+// (with encode) text back to binary.
+func convert(in io.Reader, out io.Writer, encode bool) error {
 	var src trace.Stream
 	var sink interface {
 		Write(*trace.Record) error
 		Flush() error
 	}
 	if encode {
-		r, err := trace.NewTextReader(f)
+		r, err := trace.NewTextReader(in)
 		if err != nil {
 			return err
 		}
-		w, err := trace.NewWriter(os.Stdout)
+		w, err := trace.NewWriter(out)
 		if err != nil {
 			return err
 		}
 		src, sink = r, w
 	} else {
-		r, err := trace.NewReader(f)
+		r, err := trace.NewReader(in)
 		if err != nil {
 			return err
 		}
-		w, err := trace.NewTextWriter(os.Stdout)
+		w, err := trace.NewTextWriter(out)
 		if err != nil {
 			return err
 		}

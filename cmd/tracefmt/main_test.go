@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// allKindsTrace builds one record of every valid kind, with flags and
+// field values chosen to exercise every column (hex fields, negative
+// offsets from repositions are not legal, but negative client ids are).
+func allKindsTrace() []trace.Record {
+	kinds := []trace.Kind{
+		trace.KindOpen, trace.KindClose, trace.KindRead, trace.KindWrite,
+		trace.KindReposition, trace.KindCreate, trace.KindDelete,
+		trace.KindTruncate, trace.KindMigrate, trace.KindDirRead,
+	}
+	flags := []uint8{
+		trace.FlagReadMode, trace.FlagWriteMode, 0, trace.FlagMigrated,
+		0, trace.FlagDirectory, 0, 0, trace.FlagSelfTrace, trace.FlagDirectory,
+	}
+	recs := make([]trace.Record, 0, len(kinds))
+	for i, k := range kinds {
+		recs = append(recs, trace.Record{
+			Time:   time.Duration(i+1) * 73 * time.Millisecond,
+			Kind:   k,
+			Flags:  flags[i],
+			Server: int16(i % 4),
+			Client: int32(i - 2), // includes negative (system) clients
+			User:   int32(100 + i),
+			Proc:   int32(7000 + i),
+			File:   uint64(i%4)<<48 | uint64(i+1),
+			Handle: uint64(i)<<40 | uint64(i+11),
+			Offset: int64(i) * 4096,
+			Length: int64(i) * 512,
+			Size:   int64(i) * 8192,
+		})
+	}
+	return recs
+}
+
+// TestRoundTripAllKinds drives the tool's own conversion path through
+// text -> binary -> text and binary -> text -> binary for every record
+// kind, checking both byte-level and record-level equality.
+func TestRoundTripAllKinds(t *testing.T) {
+	recs := allKindsTrace()
+
+	// Author the canonical binary form.
+	var bin bytes.Buffer
+	w, err := trace.NewWriter(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// binary -> text -> binary must reproduce the bytes exactly.
+	var text, bin2 bytes.Buffer
+	if err := convert(bytes.NewReader(bin.Bytes()), &text, false); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := convert(bytes.NewReader(text.Bytes()), &bin2, true); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Fatal("binary -> text -> binary is not byte-identical")
+	}
+
+	// text -> binary -> text likewise.
+	var text2 bytes.Buffer
+	if err := convert(bytes.NewReader(bin2.Bytes()), &text2, false); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !bytes.Equal(text.Bytes(), text2.Bytes()) {
+		t.Fatal("text -> binary -> text is not byte-identical")
+	}
+
+	// And the decoded records must equal the originals field for field.
+	r, err := trace.NewReader(bytes.NewReader(bin2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("records mutated in round trip:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestConvertRejectsWrongFormat(t *testing.T) {
+	recs := allKindsTrace()
+	var bin bytes.Buffer
+	w, err := trace.NewWriter(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Feeding binary to the text decoder (and vice versa) must error, not
+	// silently emit garbage.
+	if err := convert(bytes.NewReader(bin.Bytes()), io.Discard, true); err == nil {
+		t.Error("encoding binary input as text did not error")
+	}
+	if err := convert(bytes.NewReader([]byte("#nottrace\n")), io.Discard, true); err == nil {
+		t.Error("bad text header accepted")
+	}
+	if err := convert(bytes.NewReader([]byte("#sprtrc\n1\tbogus\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\n")), io.Discard, true); err == nil {
+		t.Error("bad kind name accepted")
+	}
+}

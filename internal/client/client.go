@@ -207,13 +207,16 @@ func (c *Client) SharedBytes() (readB, writeB, dirB int64) {
 }
 
 // StartCleaner launches the 5-second delayed-write daemon, jittered so the
-// cluster's daemons do not fire in lockstep.
+// cluster's daemons do not fire in lockstep. The first firing is scheduled
+// relative to the current virtual time, so clients brought up mid-run
+// (trace replay materializes workstations at their first record) start
+// their daemons safely.
 func (c *Client) StartCleaner() {
 	if c.cleaner != nil {
 		return
 	}
 	offset := time.Duration(c.cfg.ID%5) * time.Second
-	c.cleaner = c.sim.Every(offset, fscache.CleanerPeriod, func() {
+	c.cleaner = c.sim.Every(c.sim.Now()+offset, fscache.CleanerPeriod, func() {
 		c.ship(c.Cache.Clean(c.sim.Now()))
 	})
 }
@@ -455,6 +458,30 @@ func (c *Client) Read(hid uint64, n int64) (int64, time.Duration) {
 	}
 	h.pos += n
 	return n, lat
+}
+
+// ReadAt repositions the handle to off without charging a seek RPC, then
+// reads n bytes. Trace replay uses it to pin each transfer at its recorded
+// offset: the source run already logged any repositions as separate
+// records, so re-deriving the position here would double-count seeks.
+func (c *Client) ReadAt(hid uint64, off, n int64) (int64, time.Duration) {
+	h := c.handles[hid]
+	if h == nil || off < 0 {
+		return 0, 0
+	}
+	h.pos = off
+	return c.Read(hid, n)
+}
+
+// WriteAt repositions the handle to off without charging a seek RPC, then
+// writes n bytes (the replay counterpart of ReadAt).
+func (c *Client) WriteAt(hid uint64, off, n int64) time.Duration {
+	h := c.handles[hid]
+	if h == nil || off < 0 {
+		return 0
+	}
+	h.pos = off
+	return c.Write(hid, n)
 }
 
 // Write transfers n bytes sequentially at the handle's position and

@@ -3,15 +3,68 @@ package cluster
 import (
 	"time"
 
+	"spritefs/internal/client"
 	"spritefs/internal/fscache"
 	"spritefs/internal/netsim"
+	"spritefs/internal/server"
 	"spritefs/internal/stats"
 	"spritefs/internal/vm"
 )
 
-// This file computes the Section 5 tables from the cluster's kernel
-// counters, mirroring the paper's post-processing of the two-week counter
-// files.
+// This file computes the Section 5 tables from kernel counters, mirroring
+// the paper's post-processing of the two-week counter files. The
+// computation lives on Metrics — a counter-bearing view over a set of
+// clients, servers and a network — so that anything that drives the same
+// component stack (the live Cluster, the trace-replay engine in
+// internal/replay) produces reports of identical shape.
+
+// Metrics is the counter-bearing view of an experiment: whatever assembled
+// the clients/servers/network (live cluster or trace replay), the Section 5
+// tables are computed the same way from the same counters.
+type Metrics struct {
+	Clients []*client.Client
+	Servers []*server.Server
+	Net     *netsim.Network
+	Samples []Sample
+}
+
+// Metrics returns the cluster's counter view, from which every table
+// report is computed.
+func (c *Cluster) Metrics() *Metrics {
+	return &Metrics{Clients: c.Clients, Servers: c.Servers, Net: c.Net, Samples: c.samples}
+}
+
+// Report aggregates every counter-derived table of the Section 5 study in
+// one value, so live runs and trace replays can be compared field by field.
+type Report struct {
+	Table4  Table4
+	Table5  Table5
+	Table6  Table6
+	Table7  Table7
+	Table8  Table8
+	Table9  Table9
+	Table10 Table10
+	Storage ServerStorage
+	Stale   LiveStale
+}
+
+// Report computes all counter tables at once.
+func (m *Metrics) Report() Report {
+	return Report{
+		Table4:  m.Table4Report(),
+		Table5:  m.Table5Report(),
+		Table6:  m.Table6Report(),
+		Table7:  m.Table7Report(),
+		Table8:  m.Table8Report(),
+		Table9:  m.Table9Report(),
+		Table10: m.Table10Report(),
+		Storage: m.ServerStorageReport(),
+		Stale:   m.LiveStaleReport(),
+	}
+}
+
+// Report computes all counter tables from the cluster's counters.
+func (c *Cluster) Report() Report { return c.Metrics().Report() }
 
 // Table4 is the client cache size study.
 type Table4 struct {
@@ -27,10 +80,13 @@ type Table4 struct {
 // Table4Report aggregates the sampler's observations. Only intervals in
 // which a machine was active are included, and the first interval after a
 // client's cold start is screened out, as in the paper.
-func (c *Cluster) Table4Report() Table4 {
+func (c *Cluster) Table4Report() Table4 { return c.Metrics().Table4Report() }
+
+// Table4Report aggregates the sampler's observations.
+func (m *Metrics) Table4Report() Table4 {
 	var t Table4
-	sizes15, ch15 := c.intervalChanges(15 * time.Minute)
-	_, ch60 := c.intervalChanges(60 * time.Minute)
+	sizes15, ch15 := m.intervalChanges(15 * time.Minute)
+	_, ch60 := m.intervalChanges(60 * time.Minute)
 
 	var sizeW, c15, c60 stats.Welford
 	for _, s := range sizes15 {
@@ -53,7 +109,7 @@ func (c *Cluster) Table4Report() Table4 {
 
 // intervalChanges buckets samples into fixed windows per client and
 // returns the mean size and the size change of each active window.
-func (c *Cluster) intervalChanges(width time.Duration) (sizes, changes []float64) {
+func (m *Metrics) intervalChanges(width time.Duration) (sizes, changes []float64) {
 	type key struct {
 		client int32
 		win    int64
@@ -64,7 +120,7 @@ func (c *Cluster) intervalChanges(width time.Duration) (sizes, changes []float64
 		active        bool
 	}
 	wins := make(map[key]*agg)
-	for _, s := range c.samples {
+	for _, s := range m.Samples {
 		k := key{s.Client, int64(s.Time / width)}
 		a := wins[k]
 		if a == nil {
@@ -114,9 +170,12 @@ type Table5 struct {
 }
 
 // Table5Report sums the per-client application-level traffic.
-func (c *Cluster) Table5Report() Table5 {
+func (c *Cluster) Table5Report() Table5 { return c.Metrics().Table5Report() }
+
+// Table5Report sums the per-client application-level traffic.
+func (m *Metrics) Table5Report() Table5 {
 	var fileRead, fileWrite, pagingCache, backIn, backOut, shR, shW, dirB int64
-	for _, cl := range c.Clients {
+	for _, cl := range m.Clients {
 		st := cl.Cache.Stats()
 		fileRead += st.All.BytesRead - st.All.PagingBytesRead
 		fileWrite += st.All.BytesWritten
@@ -171,11 +230,14 @@ type Table6 struct {
 }
 
 // Table6Report aggregates the cache counters across clients.
-func (c *Cluster) Table6Report() Table6 {
+func (c *Cluster) Table6Report() Table6 { return c.Metrics().Table6Report() }
+
+// Table6Report aggregates the cache counters across clients.
+func (m *Metrics) Table6Report() Table6 {
 	var all, mig fscache.OpStats
 	var wbAll, savedAll, writtenAll int64
 	var perMachineMiss, perMachineTraffic, perMachineWB stats.Welford
-	for _, cl := range c.Clients {
+	for _, cl := range m.Clients {
 		st := cl.Cache.Stats()
 		addOps(&all, &st.All)
 		addOps(&mig, &st.Migrated)
@@ -237,8 +299,11 @@ type Table7 struct {
 }
 
 // Table7Report reads the network accounting.
-func (c *Cluster) Table7Report() Table7 {
-	total := c.Net.Total()
+func (c *Cluster) Table7Report() Table7 { return c.Metrics().Table7Report() }
+
+// Table7Report reads the network accounting.
+func (m *Metrics) Table7Report() Table7 {
+	total := m.Net.Total()
 	var t Table7
 	t.TotalBytes = total.TotalBytes()
 	if t.TotalBytes == 0 {
@@ -267,10 +332,13 @@ type Table8 struct {
 }
 
 // Table8Report aggregates replacement counters.
-func (c *Cluster) Table8Report() Table8 {
+func (c *Cluster) Table8Report() Table8 { return c.Metrics().Table8Report() }
+
+// Table8Report aggregates replacement counters.
+func (m *Metrics) Table8Report() Table8 {
 	var file, vmn int64
 	var age stats.Welford
-	for _, cl := range c.Clients {
+	for _, cl := range m.Clients {
 		st := cl.Cache.Stats()
 		file += st.ReplacedFile
 		vmn += st.ReplacedVM
@@ -291,11 +359,14 @@ type Table9 struct {
 }
 
 // Table9Report aggregates cleaning counters.
-func (c *Cluster) Table9Report() Table9 {
+func (c *Cluster) Table9Report() Table9 { return c.Metrics().Table9Report() }
+
+// Table9Report aggregates cleaning counters.
+func (m *Metrics) Table9Report() Table9 {
 	var counts [fscache.NumCleanReasons]int64
 	var ages [fscache.NumCleanReasons]stats.Welford
 	var total int64
-	for _, cl := range c.Clients {
+	for _, cl := range m.Clients {
 		st := cl.Cache.Stats()
 		for r := fscache.CleanReason(0); r < fscache.NumCleanReasons; r++ {
 			counts[r] += st.Cleaned[r]
@@ -323,10 +394,13 @@ type ServerStorage struct {
 }
 
 // ServerStorageReport aggregates server storage counters.
-func (c *Cluster) ServerStorageReport() ServerStorage {
+func (c *Cluster) ServerStorageReport() ServerStorage { return c.Metrics().ServerStorageReport() }
+
+// ServerStorageReport aggregates server storage counters.
+func (m *Metrics) ServerStorageReport() ServerStorage {
 	var blocks, missBlocks, dr, dw int64
 	var busy time.Duration
-	for _, s := range c.Servers {
+	for _, s := range m.Servers {
 		if s.Store == nil {
 			continue
 		}
@@ -355,9 +429,12 @@ type LiveStale struct {
 }
 
 // LiveStaleReport sums the clients' stale-read counters.
-func (c *Cluster) LiveStaleReport() LiveStale {
+func (c *Cluster) LiveStaleReport() LiveStale { return c.Metrics().LiveStaleReport() }
+
+// LiveStaleReport sums the clients' stale-read counters.
+func (m *Metrics) LiveStaleReport() LiveStale {
 	var t LiveStale
-	for _, cl := range c.Clients {
+	for _, cl := range m.Clients {
 		r, b, p := cl.StaleStats()
 		t.StaleReads += r
 		t.StaleBytes += b
@@ -374,9 +451,12 @@ type Table10 struct {
 }
 
 // Table10Report sums the servers' consistency counters.
-func (c *Cluster) Table10Report() Table10 {
+func (c *Cluster) Table10Report() Table10 { return c.Metrics().Table10Report() }
+
+// Table10Report sums the servers' consistency counters.
+func (m *Metrics) Table10Report() Table10 {
 	var opens, cws, recalls int64
-	for _, s := range c.Servers {
+	for _, s := range m.Servers {
 		st := s.Stats()
 		opens += st.FileOpens
 		cws += st.CWSEvents

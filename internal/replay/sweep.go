@@ -1,0 +1,135 @@
+// Sweep driver: replay one trace under many configurations in parallel.
+//
+// The paper's Section 5 methodology was exactly this — hold the trace
+// fixed and vary the cache/consistency parameters, so every configuration
+// sees the identical reference string. Each configuration gets a hermetic
+// engine (its own simulator, network, servers and clients) over the shared
+// read-only record slice, so worker scheduling cannot leak between
+// replays: the aggregate report is byte-identical for any worker count,
+// which TestSweepWorkerCountInvariance pins down.
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/netsim"
+	"spritefs/internal/stats"
+	"spritefs/internal/trace"
+)
+
+// RunSweep replays recs once per configuration, fanning the configurations
+// out over the given number of worker goroutines (min 1). Results are
+// indexed by configuration — independent of completion order — and any
+// replay error is reported with its configuration's name.
+func RunSweep(recs []trace.Record, cfgs []Config, workers int) ([]*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i], trace.NewSliceStream(recs))
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replay %q: %w", cfgs[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// SweepTable summarizes a sweep one row per configuration: the Section 5
+// cache-effectiveness ratios (read misses, miss traffic, writebacks) and
+// the Table 10 consistency-action rates, side by side so a parameter's
+// effect reads across a single column.
+func SweepTable(results []*Result) *stats.Table {
+	t := stats.NewTable("Trace replay sweep",
+		"config", "records", "opens", "miss%", "traffic%", "wb%", "netMB", "cws%", "recall%")
+	for i, r := range results {
+		name := r.Config.Name
+		if name == "" {
+			name = fmt.Sprintf("cfg%d", i)
+		}
+		t6 := r.Report.Table6
+		t10 := r.Report.Table10
+		t.AddRow(name,
+			fmt.Sprintf("%d", r.Stats.Applied),
+			fmt.Sprintf("%d", t10.FileOpens),
+			fmt.Sprintf("%.1f", t6.All.ReadMissPct),
+			fmt.Sprintf("%.1f", t6.All.ReadMissTrafficPct),
+			fmt.Sprintf("%.1f", t6.All.WritebackPct),
+			fmt.Sprintf("%.1f", float64(r.Report.Table7.TotalBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", t10.CWSPct),
+			fmt.Sprintf("%.2f", t10.RecallPct))
+	}
+	return t
+}
+
+// ReplayTable summarizes a single replay's bookkeeping: what the engine
+// did with the stream, before the full report tables.
+func ReplayTable(r *Result) *stats.Table {
+	t := stats.NewTable("Trace replay", "counter", "value")
+	row := func(k string, v int64) { t.AddRow(k, fmt.Sprintf("%d", v)) }
+	row("records read", r.Stats.Read)
+	row("applied", r.Stats.Applied)
+	row("filtered", r.Stats.Filtered)
+	row("scrubbed", r.Stats.Scrubbed)
+	row("unknown handle", r.Stats.UnknownHandle)
+	row("errors", r.Stats.Errors)
+	row("files bootstrapped", r.Stats.Bootstrapped)
+	row("creates", r.Stats.Creates)
+	row("migrations", r.Stats.Migrations)
+	t.AddRow("trace horizon", fmt.Sprintf("%v", r.Horizon.Round(time.Millisecond)))
+	t.AddRow("virtual end", fmt.Sprintf("%v", r.End.Round(time.Millisecond)))
+	return t
+}
+
+// ReportTables renders the replayed run's counter tables — the same
+// quantities a live cluster reports, numbered as in the paper.
+func ReportTables(rep *cluster.Report) []*stats.Table {
+	t6 := stats.NewTable("Table 6: client cache effectiveness", "measure", "all", "migrated")
+	t6.AddRowf("read miss %", "%.1f", rep.Table6.All.ReadMissPct, rep.Table6.Migrated.ReadMissPct)
+	t6.AddRowf("read miss traffic %", "%.1f", rep.Table6.All.ReadMissTrafficPct, rep.Table6.Migrated.ReadMissTrafficPct)
+	t6.AddRowf("writeback %", "%.1f", rep.Table6.All.WritebackPct)
+	t6.AddRowf("write fetch %", "%.1f", rep.Table6.All.WriteFetchPct, rep.Table6.Migrated.WriteFetchPct)
+	t6.AddRowf("bytes saved by delete %", "%.1f", rep.Table6.BytesSavedByDeletePct)
+
+	t7 := stats.NewTable("Table 7: network traffic", "class", "% of bytes")
+	for c := netsim.Class(0); c < netsim.NumClasses; c++ {
+		t7.AddRowf(c.String(), "%.1f", rep.Table7.ClassPct[c])
+	}
+	t7.AddRowf("read share", "%.1f", rep.Table7.ReadPct)
+	t7.AddRowf("read:write ratio", "%.2f", rep.Table7.ReadWriteRatio)
+	t7.AddRow("total", stats.FmtBytes(rep.Table7.TotalBytes))
+
+	t8 := stats.NewTable("Table 8: cache block replacement", "measure", "value")
+	t8.AddRowf("replaced for file data %", "%.1f", rep.Table8.FilePct)
+	t8.AddRowf("handed to VM %", "%.1f", rep.Table8.VMPct)
+	t8.AddRowf("avg age at replacement (min)", "%.1f", rep.Table8.AvgAgeMin)
+
+	t10 := stats.NewTable("Table 10: consistency actions", "measure", "value")
+	t10.AddRow("file opens", fmt.Sprintf("%d", rep.Table10.FileOpens))
+	t10.AddRowf("concurrent write-sharing %", "%.2f", rep.Table10.CWSPct)
+	t10.AddRowf("recalls %", "%.2f", rep.Table10.RecallPct)
+
+	return []*stats.Table{t6, t7, t8, t10}
+}

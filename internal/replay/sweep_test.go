@@ -1,0 +1,103 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spritefs/internal/client"
+)
+
+// sweepConfigs is the parameter grid the invariance test replays: the
+// knobs the paper's Section 5 simulations turned.
+func sweepConfigs() []Config {
+	mk := func(name string, mut func(*Config)) Config {
+		c := replayCfg(name)
+		mut(&c)
+		return c
+	}
+	return []Config{
+		mk("base", func(c *Config) {}),
+		mk("cache-2M", func(c *Config) { c.FixedCachePages = 512 }),
+		mk("wb-5s", func(c *Config) { c.WritebackDelay = 5 * time.Second }),
+		mk("poll-10s", func(c *Config) {
+			c.Consistency = client.ConsistencyPoll
+			c.PollInterval = 10 * time.Second
+		}),
+		mk("afap", func(c *Config) { c.AsFastAsPossible = true }),
+	}
+}
+
+// TestSweepWorkerCountInvariance is the acceptance criterion: the sweep's
+// aggregate report is byte-identical whether one goroutine or eight replay
+// the configurations.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	live := capturedTrace(t)
+	cfgs := sweepConfigs()
+
+	serial, err := RunSweep(live.recs, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(live.recs, cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result counts: %d serial, %d parallel, want %d", len(serial), len(parallel), len(cfgs))
+	}
+	for i := range cfgs {
+		if serial[i].Stats != parallel[i].Stats {
+			t.Errorf("config %q: stats diverge across worker counts", cfgs[i].Name)
+		}
+		if !reflect.DeepEqual(serial[i].Report, parallel[i].Report) {
+			t.Errorf("config %q: reports diverge across worker counts", cfgs[i].Name)
+		}
+	}
+	a, b := SweepTable(serial).TSV(), SweepTable(parallel).TSV()
+	if a != b {
+		t.Fatalf("sweep reports not byte-identical:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", a, b)
+	}
+}
+
+// TestSweepEffectsAreVisible sanity-checks that the grid actually moves the
+// Section 5 ratios in the directions the paper predicts.
+func TestSweepEffectsAreVisible(t *testing.T) {
+	live := capturedTrace(t)
+	cfgs := sweepConfigs()
+	results, err := RunSweep(live.recs, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Result{}
+	for _, r := range results {
+		byName[r.Config.Name] = r
+	}
+	// A quarter-size cache cannot miss less than the full-size one.
+	if small, base := byName["cache-2M"], byName["base"]; small.Report.Table6.All.ReadMissPct+1e-9 < base.Report.Table6.All.ReadMissPct {
+		t.Errorf("2 MB cache misses less (%.2f%%) than 8 MB (%.2f%%)",
+			small.Report.Table6.All.ReadMissPct, base.Report.Table6.All.ReadMissPct)
+	}
+	// Shortening the delayed-write window writes back at least as much:
+	// fewer bytes die in the cache before the flush.
+	if fast, base := byName["wb-5s"], byName["base"]; fast.Report.Table6.All.WritebackPct+1e-9 < base.Report.Table6.All.WritebackPct {
+		t.Errorf("5s writeback flushes less (%.2f%%) than 30s (%.2f%%)",
+			fast.Report.Table6.All.WritebackPct, base.Report.Table6.All.WritebackPct)
+	}
+	table := SweepTable(results)
+	if table.NumRows() != len(cfgs) {
+		t.Errorf("sweep table has %d rows, want %d", table.NumRows(), len(cfgs))
+	}
+	t.Logf("\n%s", table.String())
+}
+
+func TestRunSweepEmpty(t *testing.T) {
+	live := capturedTrace(t)
+	results, err := RunSweep(live.recs, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results for empty config list", len(results))
+	}
+}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -158,6 +159,11 @@ func (s *Server) Lookup(id uint64) *File { return s.files[id] }
 
 // Create makes a new file (or directory) and returns it.
 func (s *Server) Create(directory bool, now time.Duration) *File {
+	// Skip over ids claimed by Install so replay bootstrap and live
+	// creation can coexist on one server.
+	for s.files[s.nextID] != nil {
+		s.nextID++
+	}
 	f := &File{
 		ID:         s.nextID,
 		Directory:  directory,
@@ -171,6 +177,31 @@ func (s *Server) Create(directory bool, now time.Duration) *File {
 	s.nextID++
 	s.files[f.ID] = f
 	s.st.Creates++
+	return f
+}
+
+// Install registers a file under a caller-chosen id. Trace replay uses it
+// to materialize the files a captured trace references: the replayed
+// cluster must reuse the original file ids so routing, client caches and
+// consistency state all line up with the source run. Installing an id that
+// already exists returns the existing file unchanged. Unlike Create it is
+// bootstrap, not workload, so it does not count toward the create counters.
+func (s *Server) Install(id uint64, size int64, directory bool, now time.Duration) *File {
+	if f := s.files[id]; f != nil {
+		return f
+	}
+	f := &File{
+		ID:         id,
+		Size:       size,
+		Directory:  directory,
+		Created:    now,
+		OldestByte: now,
+		LastWrite:  now,
+		readers:    make(map[int32]int),
+		writers:    make(map[int32]int),
+		lastWriter: NoClient,
+	}
+	s.files[id] = f
 	return f
 }
 
@@ -237,6 +268,12 @@ func (s *Server) Open(id uint64, client int32, write bool, now time.Duration) (O
 				reply.DisableOn = append(reply.DisableOn, c)
 			}
 		}
+		// Map iteration order is randomized; sort so the flush/disable
+		// sequence — and therefore every downstream counter — is a pure
+		// function of the seed (the repo's bit-for-bit determinism claim).
+		sort.Slice(reply.DisableOn, func(i, j int) bool {
+			return reply.DisableOn[i] < reply.DisableOn[j]
+		})
 	}
 	if f.uncacheable {
 		reply.Cacheable = false

@@ -94,6 +94,25 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// TSV renders the table as tab-separated values (no title, no rule line):
+// one header row, then one line per value row. The format is stable and
+// machine-diffable, which is what the sweep driver's byte-identical
+// aggregate reports are compared on.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	write := func(r []string) {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		write(t.Headers)
+	}
+	for _, r := range t.rows {
+		write(r)
+	}
+	return b.String()
+}
+
 // FmtBytes renders a byte count in a compact human unit (K/M/G), matching
 // the magnitudes quoted in the paper's prose.
 func FmtBytes(n int64) string {

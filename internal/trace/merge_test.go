@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"io"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Edge-case coverage for the k-way merge: degenerate input shapes and the
+// contract when an input stream violates its own ordering.
+
+func TestMergeNoStreams(t *testing.T) {
+	m := Merge()
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("Next on empty merge = %v, want io.EOF", err)
+	}
+	// EOF must be sticky.
+	if _, err := m.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v, want io.EOF", err)
+	}
+}
+
+func TestMergeAllStreamsEmpty(t *testing.T) {
+	m := Merge(NewSliceStream(nil), NewSliceStream([]Record{}), NewSliceStream(nil))
+	got, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d records from empty streams", len(got))
+	}
+}
+
+func TestMergeOnlyScrubbedRecords(t *testing.T) {
+	// A stream that is entirely self-trace noise behaves like an empty one.
+	recs := []Record{
+		{Time: 1, Kind: KindWrite, Flags: FlagSelfTrace},
+		{Time: 2, Kind: KindWrite, Flags: FlagSelfTrace},
+	}
+	got, err := Collect(Merge(NewSliceStream(recs), NewSliceStream(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("scrubbed-only merge produced %d records", len(got))
+	}
+}
+
+func TestMergeSingleStreamPassthrough(t *testing.T) {
+	recs := []Record{
+		{Time: 1 * time.Millisecond, Kind: KindOpen, File: 1, Handle: 10},
+		{Time: 2 * time.Millisecond, Kind: KindRead, File: 1, Handle: 10, Length: 4096},
+		{Time: 2 * time.Millisecond, Kind: KindRead, File: 1, Handle: 10, Offset: 4096, Length: 512},
+		{Time: 9 * time.Millisecond, Kind: KindClose, File: 1, Handle: 10},
+	}
+	got, err := Collect(Merge(NewSliceStream(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("single-stream merge altered the stream:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+// TestMergeEqualTimestampTies pins the full tie contract: at one shared
+// timestamp, records come out grouped by stream index, and each stream's
+// own FIFO order is preserved within the group.
+func TestMergeEqualTimestampTies(t *testing.T) {
+	const at = 5 * time.Millisecond
+	mk := func(srv int16, files ...uint64) Stream {
+		var recs []Record
+		for _, f := range files {
+			recs = append(recs, Record{Time: at, Kind: KindOpen, Server: srv, File: f})
+		}
+		return NewSliceStream(recs)
+	}
+	got, err := Collect(Merge(mk(0, 1, 2), mk(1, 3), mk(2, 4, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []uint64
+	for _, r := range got {
+		if r.Time != at {
+			t.Fatalf("timestamp changed: %v", r.Time)
+		}
+		files = append(files, r.File)
+	}
+	want := []uint64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(files, want) {
+		t.Fatalf("tie order %v, want %v (stream index, then FIFO)", files, want)
+	}
+}
+
+// TestMergeOutOfOrderWithinStream documents the contract when an input
+// violates its ordering guarantee (a corrupt or hand-edited trace file):
+// the merge does not reorder within a stream or lose records — the output
+// is the full multiset, and other streams still interleave by the rogue
+// stream's head timestamp.
+func TestMergeOutOfOrderWithinStream(t *testing.T) {
+	rogue := []Record{
+		{Time: 7 * time.Millisecond, Kind: KindOpen, File: 1},
+		{Time: 3 * time.Millisecond, Kind: KindOpen, File: 2}, // out of order
+		{Time: 9 * time.Millisecond, Kind: KindOpen, File: 3},
+	}
+	clean := []Record{
+		{Time: 4 * time.Millisecond, Kind: KindOpen, File: 4},
+		{Time: 8 * time.Millisecond, Kind: KindOpen, File: 5},
+	}
+	got, err := Collect(Merge(NewSliceStream(rogue), NewSliceStream(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rogue)+len(clean) {
+		t.Fatalf("lost records: got %d, want %d", len(got), len(rogue)+len(clean))
+	}
+	var files []int
+	for _, r := range got {
+		files = append(files, int(r.File))
+	}
+	sort.Ints(files)
+	if !reflect.DeepEqual(files, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("multiset not preserved: %v", files)
+	}
+	// The rogue stream's records must still appear in their stream order.
+	var rogueOrder []int
+	for _, r := range got {
+		if r.File <= 3 {
+			rogueOrder = append(rogueOrder, int(r.File))
+		}
+	}
+	if !reflect.DeepEqual(rogueOrder, []int{1, 2, 3}) {
+		t.Fatalf("rogue stream reordered: %v", rogueOrder)
+	}
+}
