@@ -2,25 +2,42 @@
 
 GO ?= go
 
-.PHONY: all check build vet test bench race experiments section4 section5 clean
+.PHONY: all check build vet test race faults faultsmoke bench experiments section4 section5 clean
 
 all: check
 
-# The gate every change must pass: compile, static checks, tests, and the
-# race detector over the full module.
-check: build vet test race
+# The gate every change must pass: compile, static checks, tests, the
+# race detector over the full module, and the fault-injection suite
+# (twice under race, plus a randomized-schedule smoke with a fixed seed).
+check: build vet test race faults faultsmoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+	@if $(GO) vet -vettool=$$(command -v shadow) ./internal/faults/... 2>/dev/null; then \
+		echo "shadow: ok"; \
+	else \
+		echo "shadow: tool not installed, skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The crash-recovery subsystem, twice under the race detector: the fault
+# hook and recovery sweeps are exactly the code where a latent data race
+# would corrupt the determinism guarantees.
+faults:
+	$(GO) test -race -count=2 ./internal/faults/...
+
+# Quick randomized-schedule audit with a pinned seed (15 schedules in
+# -short mode; the full 100-schedule run happens under `make test`).
+faultsmoke:
+	$(GO) test -short -run TestFaultSchedules ./internal/faults/check -faultseed 7
 
 # One iteration of every table/figure benchmark (reduced scale).
 bench:

@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, section4, section5")
+		exp    = flag.String("exp", "all", "experiment: all, section4, section5, faults")
 		traces = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
 		hours  = flag.Float64("hours", 24, "simulated hours per trace")
 		days   = flag.Float64("days", 14, "simulated days for the counter study")
 		scale  = flag.Float64("scale", 1.0, "community scale factor (1.0 = 40 clients)")
 		seed   = flag.Int64("seed", 0, "seed offset")
 		cdfDir = flag.String("cdfdir", "", "write the Figure 1-4 CDF series as TSV files into this directory")
+		sched  = flag.String("faults", "", "fault schedule for -exp faults (default: one server crash per hour)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running counter study (%.1f days, scale %.2f)...\n", *days, *scale)
 		r := core.RunCounterStudy(core.CounterOptions{Days: *days, Scale: *scale, Seed: *seed})
 		fmt.Println(core.CounterTables(r))
+	}
+
+	if *exp == "faults" {
+		fmt.Fprintf(os.Stderr, "running fault study (%.1fh per writeback setting, scale %.2f)...\n",
+			*hours, *scale)
+		r, err := core.RunFaultStudy(core.FaultOptions{
+			Hours: *hours, Scale: *scale, Seed: *seed, Schedule: *sched,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(core.FaultTables(r))
 	}
 }
 

@@ -15,6 +15,11 @@
 //
 //	replay -trace trace1.srv0 -sweep cache=512,2048,8192 -workers 8 -report tsv
 //
+// Replay under a fault schedule — crash server 0 an hour in, with the
+// recovery counters reported in the summary:
+//
+//	replay -trace trace1.srv0 -faults 'server-crash:0@1h/30s'
+//
 // Sweep axes: cache=<pages,...>, wb=<durations,...> (writeback delay),
 // mode=<sprite|poll,...> (consistency), poll=<durations,...> (validity
 // window, implies mode poll). Trace files may be binary or text; the
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"spritefs/internal/client"
+	"spritefs/internal/faults"
 	"spritefs/internal/replay"
 	"spritefs/internal/trace"
 )
@@ -61,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		prefetch   = fs.Int("prefetch", 0, "sequential prefetch blocks")
 		clientsCSV = fs.String("clients", "", "replay only these client ids (comma-separated)")
 		kindsCSV   = fs.String("kinds", "", "replay only these record kinds (comma-separated names)")
+		faultsSpec = fs.String("faults", "", "fault schedule, e.g. 'server-crash:0@10m/30s,drop@0s/1h/500ms/50'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +105,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	base.Keep = keep
+	if *faultsSpec != "" {
+		sched, err := faults.Parse(*faultsSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		base.Faults = sched
+	}
 
 	stream, closeAll, err := openTraces(paths)
 	if err != nil {

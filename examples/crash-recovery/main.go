@@ -1,0 +1,67 @@
+// crash-recovery demonstrates the fault-injection subsystem: run a busy
+// community, crash a file server mid-run, and read what the crash cost
+// straight off the recovery counters. The paper's delayed-write bargain
+// — "users can lose at most 30 seconds of work" — becomes a measured
+// number: the oldest dirty byte destroyed is never older than the
+// writeback delay plus one cleaner period.
+//
+//	go run ./examples/crash-recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/faults"
+	"spritefs/internal/fscache"
+	"spritefs/internal/workload"
+)
+
+func main() {
+	// Server 0 crashes an hour in and stays unreachable for 30 seconds;
+	// ten minutes later the clients sharing it lose their network for 20s.
+	sched, err := faults.Parse("server-crash:0@1h/30s,partition:2@1h10m/20s")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := workload.Default(42)
+	p.NumClients = 10
+	p.DailyUsers = 8
+	p.OccasionalUsers = 4
+	cfg := cluster.DefaultConfig(p)
+	cfg.NumServers = 2
+	cfg.Faults = sched
+
+	c := cluster.New(cfg)
+	fmt.Printf("running 10 workstations for 2 simulated hours under schedule:\n  %s\n\n", sched)
+	c.Run(2 * time.Hour)
+
+	rec := c.RecoveryReport()
+	fmt.Println("What the crash cost:")
+	fmt.Printf("  server crashes            %d\n", rec.ServerCrashes)
+	fmt.Printf("  open registrations lost   %d\n", rec.OpensLostInCrash)
+	fmt.Printf("  dirty bytes destroyed     %d\n", rec.DirtyBytesLost)
+	fmt.Printf("  oldest destroyed byte     %v old\n", rec.MaxDirtyAge.Round(time.Millisecond))
+	fmt.Printf("  (bound: writeback delay %v + cleaner period %v)\n\n",
+		fscache.WritebackDelay, fscache.CleanerPeriod)
+
+	fmt.Println("What recovery repaired:")
+	fmt.Printf("  recovery protocol runs    %d\n", rec.Recoveries)
+	fmt.Printf("  handles re-registered     %d\n", rec.RecoveryOpens)
+	fmt.Printf("  dirty bytes replayed      %d\n", rec.ReplayedBytes)
+	fmt.Printf("  write-sharing re-detected %d\n", rec.RecoveryCWS)
+	fmt.Printf("  time to reconsistency     %v\n\n", rec.MaxTimeToReconsistency.Round(time.Millisecond))
+
+	fmt.Println("What the network faults looked like on the wire:")
+	fmt.Printf("  stalled RPCs              %d (total stall %v)\n",
+		rec.StalledOps, rec.StallTime.Round(time.Millisecond))
+
+	if rec.MaxDirtyAge <= fscache.WritebackDelay+fscache.CleanerPeriod+time.Second {
+		fmt.Println("\nThe 30-second bound held: everything older was already on the server.")
+	} else {
+		fmt.Println("\nBOUND VIOLATED — this should never print; file a bug.")
+	}
+}

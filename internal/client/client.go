@@ -141,6 +141,17 @@ type Client struct {
 	sharedWriteBytes int64
 	dirReadBytes     int64
 
+	// bytesWrittenBack counts every byte shipped to any server via
+	// WriteBack — the client side of the conservation invariant the fault
+	// harness checks against the servers' WriteBackBytes counters.
+	bytesWrittenBack int64
+
+	// epochs tracks the restart generation last seen per server; a
+	// mismatch on the next contact triggers the recovery protocol
+	// (recovery.go).
+	epochs map[int16]uint64
+	rec    RecoveryStats
+
 	cleaner *sim.Ticker
 }
 
@@ -181,6 +192,7 @@ func New(cfg Config, s *sim.Sim, net *netsim.Network, route func(uint64) *server
 		handles:   make(map[uint64]*handle),
 		versions:  make(map[uint64]uint64),
 		validated: make(map[uint64]time.Duration),
+		epochs:    make(map[int16]uint64),
 	}
 	if c.cfg.PollInterval <= 0 {
 		c.cfg.PollInterval = 60 * time.Second
@@ -232,14 +244,26 @@ func (c *Client) StopCleaner() {
 // ship transfers dirty blocks to their servers.
 func (c *Client) ship(wbs []fscache.Writeback) {
 	for _, wb := range wbs {
-		c.net.RPC(c.cfg.ID, netsim.FileWrite, wb.Bytes)
-		srv := c.route(wb.File)
-		srv.WriteBack(wb.File, c.cfg.ID, wb.Block, wb.Bytes, c.sim.Now())
-		if f := srv.Lookup(wb.File); f != nil {
-			c.versions[wb.File] = f.Version
-		}
+		c.shipOne(c.route(wb.File), wb, c.sim.Now())
 	}
 }
+
+// shipOne sends one writeback block to its server and returns the RPC
+// latency. Every WriteBack in the system flows through here, so
+// bytesWrittenBack is exact.
+func (c *Client) shipOne(srv *server.Server, wb fscache.Writeback, now time.Duration) time.Duration {
+	lat := c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.FileWrite, wb.Bytes)
+	srv.WriteBack(wb.File, c.cfg.ID, wb.Block, wb.Bytes, now)
+	c.bytesWrittenBack += wb.Bytes
+	if f := srv.Lookup(wb.File); f != nil {
+		c.versions[wb.File] = f.Version
+	}
+	return lat
+}
+
+// BytesWrittenBack returns the total bytes this client has shipped to
+// servers via writeback RPCs.
+func (c *Client) BytesWrittenBack() int64 { return c.bytesWrittenBack }
 
 // maybeGrow lets the file cache claim more memory when full: free pages
 // first, then VM pages idle past the 20-minute threshold.
@@ -272,7 +296,7 @@ func (c *Client) pageInViaCache(file uint64, offset, n int64, migrated bool) {
 	f := srv.Lookup(file)
 	if f == nil || offset >= f.Size {
 		// Unknown executable image: fault straight from the server.
-		c.net.RPC(c.cfg.ID, netsim.PagingRead, n)
+		c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.PagingRead, n)
 		return
 	}
 	if offset+n > f.Size {
@@ -286,7 +310,7 @@ func (c *Client) pageInViaCache(file uint64, offset, n int64, migrated bool) {
 	res := c.Cache.Read(file, offset, n, f.Size, attr, c.sim.Now())
 	c.ship(res.Evicted)
 	if res.MissBytes > 0 {
-		c.net.RPC(c.cfg.ID, netsim.PagingRead, res.MissBytes)
+		c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.PagingRead, res.MissBytes)
 		c.Cache.AddMissBytes(attr, res.MissBytes)
 		for _, idx := range res.MissIdx {
 			srv.ServeBlock(file, idx, c.sim.Now())
@@ -325,7 +349,7 @@ func migFlag(migrated bool) uint8 {
 // server and returns its id.
 func (c *Client) Create(user, proc int32, dir, migrated bool) uint64 {
 	f := c.home.Create(dir, c.sim.Now())
-	c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	c.net.RPCTo(c.home.ID(), c.cfg.ID, netsim.Control, 0)
 	var flags uint8 = migFlag(migrated)
 	if dir {
 		flags |= trace.FlagDirectory
@@ -338,12 +362,13 @@ func (c *Client) Create(user, proc int32, dir, migrated bool) uint64 {
 // the open latency.
 func (c *Client) Open(user, proc int32, file uint64, read, write, migrated bool) (uint64, time.Duration, error) {
 	srv := c.route(file)
+	lat := c.maybeRecover(srv) // lazy restart detection before new state lands
 	now := c.sim.Now()
 	reply, err := srv.Open(file, c.cfg.ID, write, now)
 	if err != nil {
-		return 0, 0, err
+		return 0, lat, err
 	}
-	lat := c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	lat += c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.Control, 0)
 
 	// Consistency action: recall dirty data from the last writer. The
 	// polling scheme has no recall machinery — stale data simply lingers.
@@ -422,11 +447,11 @@ func (c *Client) Read(hid uint64, n int64) (int64, time.Duration) {
 	var flags = migFlag(h.migrated)
 	if f.Directory {
 		// Directory reads bypass the cache and are accounted separately.
-		lat = c.net.RPC(c.cfg.ID, netsim.DirRead, n)
+		lat = c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.DirRead, n)
 		c.dirReadBytes += n
 		c.emit(trace.KindDirRead, h, h.file, flags|trace.FlagDirectory, h.pos, n, f.Size, h.user, h.proc)
 	} else if f.Uncacheable() && c.cfg.Consistency == ConsistencySprite {
-		lat = c.net.RPC(c.cfg.ID, netsim.SharedRead, n)
+		lat = c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.SharedRead, n)
 		lat += srv.ServeSpan(h.file, h.pos, n, now)
 		c.sharedReadBytes += n
 		c.emit(trace.KindRead, h, h.file, flags|trace.FlagShared, h.pos, n, f.Size, h.user, h.proc)
@@ -439,7 +464,7 @@ func (c *Client) Read(hid uint64, n int64) (int64, time.Duration) {
 		res := c.Cache.Read(h.file, h.pos, n, f.Size, attr, now)
 		c.ship(res.Evicted)
 		if res.MissBytes > 0 {
-			lat += c.net.RPC(c.cfg.ID, netsim.FileRead, res.MissBytes)
+			lat += c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.FileRead, res.MissBytes)
 			c.Cache.AddMissBytes(attr, res.MissBytes)
 			for _, idx := range res.MissIdx {
 				lat += srv.ServeBlock(h.file, idx, now)
@@ -500,7 +525,7 @@ func (c *Client) Write(hid uint64, n int64) time.Duration {
 	var lat time.Duration
 	flags := migFlag(h.migrated)
 	if f.Uncacheable() && !f.Directory && c.cfg.Consistency == ConsistencySprite {
-		lat = c.net.RPC(c.cfg.ID, netsim.SharedWrite, n)
+		lat = c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.SharedWrite, n)
 		srv.AcceptSpan(h.file, h.pos, n, now)
 		c.sharedWriteBytes += n
 		srv.Write(h.file, c.cfg.ID, h.pos, n, true, now)
@@ -512,7 +537,7 @@ func (c *Client) Write(hid uint64, n int64) time.Duration {
 		res := c.Cache.Write(h.file, h.pos, n, f.Size, attr, now)
 		c.ship(res.Evicted)
 		if res.FetchBytes > 0 {
-			lat = c.net.RPC(c.cfg.ID, netsim.FileRead, res.FetchBytes)
+			lat = c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.FileRead, res.FetchBytes)
 			for _, idx := range res.FetchIdx {
 				lat += srv.ServeBlock(h.file, idx, now)
 			}
@@ -522,8 +547,7 @@ func (c *Client) Write(hid uint64, n int64) time.Duration {
 			// "New data is written through to the server almost
 			// immediately in order to make it available to other clients."
 			for _, wb := range c.Cache.Fsync(h.file, now) {
-				lat += c.net.RPC(c.cfg.ID, netsim.FileWrite, wb.Bytes)
-				srv.WriteBack(wb.File, c.cfg.ID, wb.Block, wb.Bytes, now)
+				lat += c.shipOne(srv, wb, now)
 			}
 			if cur := srv.Lookup(h.file); cur != nil {
 				c.versions[h.file] = cur.Version
@@ -546,7 +570,7 @@ func (c *Client) pollValidate(file uint64, f *server.File, now time.Duration) ti
 		return 0
 	}
 	c.pollRPCs++
-	lat := c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	lat := c.net.RPCTo(c.route(file).ID(), c.cfg.ID, netsim.Control, 0)
 	if c.versions[file] != f.Version {
 		c.Cache.Invalidate(file)
 		c.versions[file] = f.Version
@@ -568,7 +592,7 @@ func (c *Client) Seek(hid uint64, pos int64) time.Duration {
 	if h == nil || pos < 0 {
 		return 0
 	}
-	lat := c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	lat := c.net.RPCTo(c.route(h.file).ID(), c.cfg.ID, netsim.Control, 0)
 	h.pos = pos
 	f := c.route(h.file).Lookup(h.file)
 	var size int64
@@ -588,12 +612,7 @@ func (c *Client) Fsync(hid uint64) time.Duration {
 	wbs := c.Cache.Fsync(h.file, c.sim.Now())
 	var lat time.Duration
 	for _, wb := range wbs {
-		lat += c.net.RPC(c.cfg.ID, netsim.FileWrite, wb.Bytes)
-		srv := c.route(wb.File)
-		srv.WriteBack(wb.File, c.cfg.ID, wb.Block, wb.Bytes, c.sim.Now())
-		if f := srv.Lookup(wb.File); f != nil {
-			c.versions[wb.File] = f.Version
-		}
+		lat += c.shipOne(c.route(wb.File), wb, c.sim.Now())
 	}
 	return lat
 }
@@ -604,13 +623,17 @@ func (c *Client) Close(hid uint64) (time.Duration, error) {
 	if h == nil {
 		return 0, fmt.Errorf("client %d: close of unknown handle %#x", c.cfg.ID, hid)
 	}
-	delete(c.handles, hid)
 	srv := c.route(h.file)
+	// Lazy restart detection must run while the handle is still registered
+	// locally, or the recovery re-registration misses the very open this
+	// close is about to balance.
+	lat := c.maybeRecover(srv)
+	delete(c.handles, hid)
 	dirty := h.wrote && c.Cache.FileDirty(h.file)
 	if err := srv.Close(h.file, c.cfg.ID, h.write, dirty, c.sim.Now()); err != nil {
-		return 0, err
+		return lat, err
 	}
-	lat := c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	lat += c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.Control, 0)
 	var size int64
 	flags := migFlag(h.migrated)
 	if h.read {
@@ -640,7 +663,7 @@ func (c *Client) Delete(user, proc int32, file uint64, migrated bool) {
 	f := srv.Delete(file, c.sim.Now())
 	c.Cache.Delete(file)
 	delete(c.versions, file)
-	c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.Control, 0)
 	var size int64
 	var oldest, newest time.Duration
 	var flags = migFlag(migrated)
@@ -672,7 +695,7 @@ func (c *Client) Truncate(user, proc int32, file uint64, migrated bool) {
 	}
 	srv.Truncate(file, c.sim.Now())
 	c.Cache.Truncate(file, 0)
-	c.net.RPC(c.cfg.ID, netsim.Control, 0)
+	c.net.RPCTo(srv.ID(), c.cfg.ID, netsim.Control, 0)
 	c.emit(trace.KindTruncate, nil, file, migFlag(migrated), int64(oldest), int64(newest), size, user, proc)
 }
 
@@ -683,12 +706,7 @@ func (c *Client) Truncate(user, proc int32, file uint64, migrated bool) {
 func (c *Client) FlushForRecall(file uint64) {
 	wbs := c.Cache.Recall(file, c.sim.Now())
 	for _, wb := range wbs {
-		c.net.RPC(c.cfg.ID, netsim.FileWrite, wb.Bytes)
-		srv := c.route(wb.File)
-		srv.WriteBack(wb.File, c.cfg.ID, wb.Block, wb.Bytes, c.sim.Now())
-		if f := srv.Lookup(wb.File); f != nil {
-			c.versions[wb.File] = f.Version
-		}
+		c.shipOne(c.route(wb.File), wb, c.sim.Now())
 	}
 }
 

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// crashRestart crashes and immediately restarts the rig's server, the way
+// the fault injector does (the outage itself is modeled as RPC latency).
+func (r *testRig) crashRestart() {
+	r.srv.Crash(r.sim.Now())
+	r.srv.Restart(r.sim.Now())
+}
+
+func TestRecoverServerReopensAndReplays(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.clients[0]
+
+	file := c.Create(1, 100, false, false)
+	h, _, err := c.Open(1, 100, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(h, 10000) // dirty blocks sit in the client cache
+
+	r.crashRestart()
+	if got, _ := r.srv.Lookup(file).Registration(c.ID()); got != 0 {
+		t.Fatal("registration survived crash")
+	}
+
+	res := c.RecoverServer(r.srv)
+	if res.GaveUp || res.Files != 1 || res.Reopened != 1 {
+		t.Fatalf("recovery = %+v, want 1 file / 1 handle", res)
+	}
+	if res.ReplayedBytes != 10000 {
+		t.Errorf("replayed %d bytes, want 10000", res.ReplayedBytes)
+	}
+	if c.Cache.FileDirty(file) {
+		t.Error("cache still dirty after replay")
+	}
+	if _, w := r.srv.Lookup(file).Registration(c.ID()); w != 1 {
+		t.Errorf("writer registration = %d after recovery, want 1", w)
+	}
+	// The replayed bytes hit the server's WriteBack counter — conservation.
+	if got := r.srv.Stats().WriteBackBytes; got != c.BytesWrittenBack() {
+		t.Errorf("server got %d writeback bytes, client shipped %d", got, c.BytesWrittenBack())
+	}
+	// The normal close must now balance.
+	if _, err := c.Close(h); err != nil {
+		t.Errorf("close after recovery: %v", err)
+	}
+}
+
+func TestLazyDetectionOnOpen(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.clients[0]
+
+	file := c.Create(1, 100, false, false)
+	h, _, err := c.Open(1, 100, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(h, 5000)
+
+	r.crashRestart()
+
+	// No explicit recovery call: the next open must notice the epoch bump,
+	// run the protocol, and leave the open tables exact.
+	other := c.Create(1, 100, false, false)
+	h2, _, err := c.Open(1, 100, other, true, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RecoveryStats().Recoveries; got != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (lazy detection missed)", got)
+	}
+	if _, w := r.srv.Lookup(file).Registration(c.ID()); w != 1 {
+		t.Errorf("writer registration = %d after lazy recovery, want 1", w)
+	}
+	if c.Cache.FileDirty(file) {
+		t.Error("dirty data not replayed by lazy recovery")
+	}
+	if _, err := c.Close(h2); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.Close(h); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoverRetriesThenGivesUpWhileDown(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.clients[0]
+
+	file := c.Create(1, 100, false, false)
+	if _, _, err := c.Open(1, 100, file, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Crash(r.sim.Now()) // no restart: server stays down
+
+	res := c.RecoverServer(r.srv)
+	if !res.GaveUp || res.Retries != RecoveryRetryLimit {
+		t.Fatalf("recovery against down server = %+v, want give-up after %d retries", res, RecoveryRetryLimit)
+	}
+	// Exponential backoff: total wait is (2^limit - 1) * base.
+	want := time.Duration((1<<RecoveryRetryLimit)-1) * RecoveryBackoff
+	if res.Latency != want {
+		t.Errorf("backoff latency = %v, want %v", res.Latency, want)
+	}
+	if got := c.RecoveryStats().GaveUp; got != 1 {
+		t.Errorf("GaveUp = %d, want 1", got)
+	}
+
+	// After restart the abandoned recovery must still happen lazily.
+	r.srv.Restart(r.sim.Now())
+	res = c.RecoverServer(r.srv)
+	if res.GaveUp || res.Files != 1 {
+		t.Fatalf("post-restart recovery = %+v", res)
+	}
+}
+
+func TestRecoveryIsIdempotentAtClient(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.clients[0]
+
+	file := c.Create(1, 100, false, false)
+	if _, _, err := c.Open(1, 100, file, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	r.crashRestart()
+
+	c.RecoverServer(r.srv)
+	// Second call is a no-op: the epoch is synced, nothing was lost.
+	res := c.RecoverServer(r.srv)
+	if res.Files != 0 || res.Reopened != 0 {
+		t.Errorf("duplicate recovery did work: %+v", res)
+	}
+	if _, w := r.srv.Lookup(file).Registration(c.ID()); w != 1 {
+		t.Errorf("writer registration = %d, want 1 (double-counted)", w)
+	}
+}
+
+func TestRecoveryRedetectsSharingAcrossClients(t *testing.T) {
+	r := newRig(t, 2)
+	writer, reader := r.clients[0], r.clients[1]
+
+	file := writer.Create(1, 100, false, false)
+	hw, _, err := writer.Open(1, 100, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, _, err := reader.Open(2, 200, file, true, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.srv.Lookup(file).Uncacheable() {
+		t.Fatal("no write-sharing before crash")
+	}
+	r.crashRestart()
+
+	reader.RecoverServer(r.srv)
+	if r.srv.Lookup(file).Uncacheable() {
+		t.Fatal("sharing re-detected with only a reader registered")
+	}
+	writer.RecoverServer(r.srv)
+	if !r.srv.Lookup(file).Uncacheable() {
+		t.Fatal("write-sharing not re-detected after both recovered")
+	}
+	if got := r.srv.Stats().RecoveryCWS; got != 1 {
+		t.Errorf("RecoveryCWS = %d, want 1", got)
+	}
+	writer.Close(hw)
+	reader.Close(hr)
+}
+
+func TestClientCrashMeasuresLossAndDisconnects(t *testing.T) {
+	r := newRig(t, 1)
+	c := r.clients[0]
+
+	file := c.Create(1, 100, false, false)
+	h, _, err := c.Open(1, 100, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(h, 3000)
+
+	loss := c.Crash(r.sim.Now())
+	if loss.DirtyBytes != 3000 {
+		t.Errorf("lost %d dirty bytes, want 3000", loss.DirtyBytes)
+	}
+	if dropped := r.srv.Disconnect(c.ID(), r.sim.Now()); dropped != 1 {
+		t.Errorf("server dropped %d registrations, want 1", dropped)
+	}
+	st := c.RecoveryStats()
+	if st.Crashes != 1 || st.LostDirtyBytes != 3000 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+	// The dead machine's handles are gone; a fresh open works normally.
+	if _, _, err := c.Open(1, 100, file, true, false, false); err != nil {
+		t.Errorf("open after client crash: %v", err)
+	}
+}

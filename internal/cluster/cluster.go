@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spritefs/internal/client"
+	"spritefs/internal/faults"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
 	"spritefs/internal/sim"
@@ -52,6 +53,9 @@ type Config struct {
 	Consistency client.ConsistencyMode
 	// PollInterval is the validity window under ConsistencyPoll.
 	PollInterval time.Duration
+	// Faults is the fault-injection schedule (crashes, partitions, drop
+	// and delay windows) driven against the run. Empty injects nothing.
+	Faults faults.Schedule
 }
 
 // DefaultConfig returns the paper's cluster: 4 servers, 40 clients.
@@ -81,6 +85,8 @@ type Cluster struct {
 	Clients  []*client.Client
 	Engine   *workload.Engine
 	Registry *workload.Registry
+	// Injector drives Cfg.Faults; nil when the schedule is empty.
+	Injector *faults.Injector
 
 	recs    []trace.Record
 	sink    func(trace.Record)
@@ -155,6 +161,9 @@ func New(cfg Config) *Cluster {
 		c.Clients = append(c.Clients, cl)
 		hosts[int32(i)] = cl
 	}
+	if !cfg.Faults.Empty() {
+		c.Injector = faults.Attach(c, cfg.Faults)
+	}
 	c.Engine = workload.NewEngine(c.Sim, p, c.Registry, hosts)
 	c.Engine.OnMigrate = func(user, pid, from, to int32) {
 		c.Emit(trace.Record{
@@ -197,6 +206,18 @@ func (c *Cluster) DisableCaching(clients []int32, file uint64) {
 		}
 	}
 }
+
+// Clock implements faults.System.
+func (c *Cluster) Clock() *sim.Sim { return c.Sim }
+
+// Wire implements faults.System.
+func (c *Cluster) Wire() *netsim.Network { return c.Net }
+
+// FileServers implements faults.System.
+func (c *Cluster) FileServers() []*server.Server { return c.Servers }
+
+// Workstations implements faults.System.
+func (c *Cluster) Workstations() []*client.Client { return c.Clients }
 
 // Trace returns the collected records (empty when a sink was used).
 func (c *Cluster) Trace() []trace.Record { return c.recs }

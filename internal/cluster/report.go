@@ -37,29 +37,31 @@ func (c *Cluster) Metrics() *Metrics {
 // Report aggregates every counter-derived table of the Section 5 study in
 // one value, so live runs and trace replays can be compared field by field.
 type Report struct {
-	Table4  Table4
-	Table5  Table5
-	Table6  Table6
-	Table7  Table7
-	Table8  Table8
-	Table9  Table9
-	Table10 Table10
-	Storage ServerStorage
-	Stale   LiveStale
+	Table4   Table4
+	Table5   Table5
+	Table6   Table6
+	Table7   Table7
+	Table8   Table8
+	Table9   Table9
+	Table10  Table10
+	Storage  ServerStorage
+	Stale    LiveStale
+	Recovery Recovery
 }
 
 // Report computes all counter tables at once.
 func (m *Metrics) Report() Report {
 	return Report{
-		Table4:  m.Table4Report(),
-		Table5:  m.Table5Report(),
-		Table6:  m.Table6Report(),
-		Table7:  m.Table7Report(),
-		Table8:  m.Table8Report(),
-		Table9:  m.Table9Report(),
-		Table10: m.Table10Report(),
-		Storage: m.ServerStorageReport(),
-		Stale:   m.LiveStaleReport(),
+		Table4:   m.Table4Report(),
+		Table5:   m.Table5Report(),
+		Table6:   m.Table6Report(),
+		Table7:   m.Table7Report(),
+		Table8:   m.Table8Report(),
+		Table9:   m.Table9Report(),
+		Table10:  m.Table10Report(),
+		Storage:  m.ServerStorageReport(),
+		Stale:    m.LiveStaleReport(),
+		Recovery: m.RecoveryReport(),
 	}
 }
 
@@ -440,6 +442,78 @@ func (m *Metrics) LiveStaleReport() LiveStale {
 		t.StaleBytes += b
 		t.PollRPCs += p
 	}
+	return t
+}
+
+// Recovery summarizes the fault-injection and crash-recovery study: what
+// crashes destroyed (the paper's "at most 30 seconds of work" reliability
+// claim, measured), the reopen storms restarted servers absorbed, and the
+// network-level fault perturbations.
+type Recovery struct {
+	ServerCrashes    int64
+	ClientCrashes    int64
+	OpensLostInCrash int64 // open registrations discarded by server crashes
+	// DirtyBytesLost counts un-synced bytes destroyed on both sides:
+	// client delayed-write caches and server caches.
+	DirtyBytesLost int64
+	MaxDirtyAge    time.Duration // oldest lost dirty byte — bounded by the
+	// writeback delay plus one cleaner period when the daemons are healthy.
+
+	Recoveries      int64 // recovery protocol runs completed by clients
+	RecoveryOpens   int64 // handle re-registrations served (reopen storm)
+	RecoveryCWS     int64 // write-sharing re-detected during recovery
+	ReplayedBytes   int64 // dirty bytes replayed to restarted servers
+	RecoveryRetries int64 // backoff retries against down servers
+	GaveUp          int64 // recovery attempts abandoned at the retry limit
+	// MaxTimeToReconsistency is the worst crash-to-recovered interval.
+	MaxTimeToReconsistency time.Duration
+
+	// Network fault accounting (from the wire's hook counters).
+	DroppedOps  int64
+	Retransmits int64
+	StalledOps  int64
+	StallTime   time.Duration
+}
+
+// RecoveryReport aggregates the crash/recovery counters.
+func (c *Cluster) RecoveryReport() Recovery { return c.Metrics().RecoveryReport() }
+
+// RecoveryReport aggregates the crash/recovery counters.
+func (m *Metrics) RecoveryReport() Recovery {
+	var t Recovery
+	maxDur := func(dst *time.Duration, v time.Duration) {
+		if v > *dst {
+			*dst = v
+		}
+	}
+	for _, cl := range m.Clients {
+		rs := cl.RecoveryStats()
+		t.ClientCrashes += rs.Crashes
+		t.DirtyBytesLost += rs.LostDirtyBytes
+		maxDur(&t.MaxDirtyAge, rs.MaxLostDirtyAge)
+		t.Recoveries += rs.Recoveries
+		t.ReplayedBytes += rs.ReplayedBytes
+		t.RecoveryRetries += rs.Retries
+		t.GaveUp += rs.GaveUp
+	}
+	for _, s := range m.Servers {
+		st := s.Stats()
+		t.ServerCrashes += st.Crashes
+		t.OpensLostInCrash += st.OpensLostInCrash
+		t.RecoveryOpens += st.RecoveryOpens
+		t.RecoveryCWS += st.RecoveryCWS
+		maxDur(&t.MaxTimeToReconsistency, st.MaxRecoveryTime)
+		if s.Store != nil {
+			ss := s.Store.Stats()
+			t.DirtyBytesLost += ss.LostDirtyBytes
+			maxDur(&t.MaxDirtyAge, ss.MaxLostDirtyAge)
+		}
+	}
+	fs := m.Net.FaultStats()
+	t.DroppedOps = fs.DroppedOps
+	t.Retransmits = fs.Retransmit
+	t.StalledOps = fs.StalledOps
+	t.StallTime = fs.StallTime
 	return t
 }
 

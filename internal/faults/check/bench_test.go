@@ -1,0 +1,56 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"spritefs/internal/client"
+	"spritefs/internal/netsim"
+	"spritefs/internal/server"
+	"spritefs/internal/sim"
+)
+
+// BenchmarkRecoveryStorm measures the reopen storm a restarted server
+// absorbs: N workstations, each holding an open write handle with dirty
+// cached data, all running the recovery protocol back to back.
+func BenchmarkRecoveryStorm(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			clock := sim.New(1)
+			net := netsim.New(netsim.DefaultConfig())
+			srv := server.New(0)
+			srv.AttachStorage(64 << 10)
+			route := func(uint64) *server.Server { return srv }
+
+			clients := make([]*client.Client, n)
+			handles := make([]uint64, n)
+			for i := range clients {
+				c := client.New(client.DefaultConfig(int32(i)), clock, net, route, srv, nil)
+				clients[i] = c
+				file := c.Create(1, 1, false, false)
+				h, _, err := c.Open(1, 1, file, false, true, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[i] = h
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, c := range clients {
+					c.Write(handles[j], 4096)
+				}
+				now := clock.Now()
+				srv.Crash(now)
+				srv.Restart(now)
+				storm := 0
+				for _, c := range clients {
+					storm += c.RecoverServer(srv).Reopened
+				}
+				if storm != n {
+					b.Fatalf("storm re-registered %d handles, want %d", storm, n)
+				}
+			}
+		})
+	}
+}

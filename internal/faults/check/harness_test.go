@@ -1,0 +1,213 @@
+package check
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/cluster"
+	"spritefs/internal/faults"
+	"spritefs/internal/fscache"
+	"spritefs/internal/netsim"
+	"spritefs/internal/server"
+	"spritefs/internal/sim"
+	"spritefs/internal/workload"
+)
+
+var (
+	seedFlag  = flag.Int64("faultseed", 1, "base seed for the randomized fault schedules")
+	schedFlag = flag.Int("schedules", 100, "number of random schedules TestFaultSchedules runs")
+)
+
+const (
+	harnessServers = 2
+	harnessClients = 4
+	harnessRun     = 20 * time.Minute
+)
+
+// harnessCluster builds the small cluster every schedule runs against:
+// a busy 4-workstation, 2-server system, short sessions so open tables
+// churn constantly under the faults.
+func harnessCluster(seed int64, sched faults.Schedule) *cluster.Cluster {
+	p := workload.Default(seed)
+	p.NumClients = harnessClients
+	p.DailyUsers = harnessClients
+	p.OccasionalUsers = 2
+	p.SessionMedian = 5 * time.Minute
+	p.GapMedian = 4 * time.Minute
+	p.ThinkMean = 3 * time.Second
+	cfg := cluster.DefaultConfig(p)
+	cfg.NumServers = harnessServers
+	cfg.SamplePeriod = 0
+	cfg.Faults = sched
+	return cluster.New(cfg)
+}
+
+// TestFaultSchedules is the randomized invariant harness: generate fault
+// schedules from a logged seed, run each against a fresh small cluster,
+// and audit every run with check.Run. Reproduce one failing schedule with
+//
+//	go test -run TestFaultSchedules -faultseed <seed> -schedules 1
+//
+// using the per-schedule seed from the failure log.
+func TestFaultSchedules(t *testing.T) {
+	n := *schedFlag
+	if testing.Short() && n > 15 {
+		n = 15
+	}
+	t.Logf("running %d schedules from base seed %d", n, *seedFlag)
+
+	// Lost dirty data can never have aged past a full delayed-write window
+	// plus one cleaner period (the daemons sample age every period); the
+	// extra second absorbs the staggered cleaner start offsets.
+	ageBound := fscache.WritebackDelay + fscache.CleanerPeriod + time.Second
+
+	for i := 0; i < n; i++ {
+		seed := *seedFlag + int64(i)
+		// Events end early enough that every outage heals and its recovery
+		// sweep completes before the run stops: quiescence is what makes
+		// the open-table agreement checkable.
+		sched := faults.Random(sim.NewRand(seed), harnessRun-3*time.Minute,
+			6, harnessServers, harnessClients)
+		cl := harnessCluster(seed, sched)
+		cl.Run(harnessRun)
+
+		if vs := Run(cl); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Fatalf("seed %d: %d violations under schedule %s", seed, len(vs), sched)
+		}
+		rec := cl.RecoveryReport()
+		if rec.MaxDirtyAge > ageBound {
+			t.Errorf("seed %d: lost dirty data aged %v, exceeds bound %v (schedule %s)",
+				seed, rec.MaxDirtyAge, ageBound, sched)
+		}
+		if rec.GaveUp != 0 {
+			t.Errorf("seed %d: %d recovery attempts gave up against restarted servers",
+				seed, rec.GaveUp)
+		}
+	}
+}
+
+// TestCheckPassesCleanCluster pins the auditor's false-positive rate at
+// zero: a run with no faults at all must produce no violations.
+func TestCheckPassesCleanCluster(t *testing.T) {
+	cl := harnessCluster(*seedFlag, faults.Schedule{})
+	cl.Run(harnessRun)
+	if vs := Run(cl); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+	}
+	rec := cl.RecoveryReport()
+	if rec.ServerCrashes != 0 || rec.ClientCrashes != 0 || rec.DirtyBytesLost != 0 {
+		t.Errorf("faultless run reported crashes: %+v", rec)
+	}
+}
+
+// auditRig is a hand-driven System for negative tests: one server, two
+// clients, no workload — every open is placed exactly where the test
+// wants it.
+type auditRig struct {
+	clock   *sim.Sim
+	net     *netsim.Network
+	servers []*server.Server
+	clients []*client.Client
+}
+
+func (r *auditRig) Clock() *sim.Sim                  { return r.clock }
+func (r *auditRig) Wire() *netsim.Network            { return r.net }
+func (r *auditRig) FileServers() []*server.Server    { return r.servers }
+func (r *auditRig) Workstations() []*client.Client   { return r.clients }
+func (r *auditRig) RecallFrom(cl int32, file uint64) { r.clients[cl].FlushForRecall(file) }
+func (r *auditRig) DisableCaching(cls []int32, file uint64) {
+	for _, id := range cls {
+		r.clients[id].DisableFor(file)
+	}
+}
+
+func newAuditRig() *auditRig {
+	r := &auditRig{clock: sim.New(1), net: netsim.New(netsim.DefaultConfig())}
+	s := server.New(0)
+	s.AttachStorage(1024)
+	r.servers = []*server.Server{s}
+	route := func(uint64) *server.Server { return s }
+	for i := 0; i < 2; i++ {
+		c := client.New(client.DefaultConfig(int32(i)), r.clock, r.net, route, s, nil)
+		c.SetCoordinator(r)
+		r.clients = append(r.clients, c)
+	}
+	return r
+}
+
+// TestCheckDetectsTornOpenTable proves the auditor can actually fail: crash
+// a server under a live open and audit before any recovery runs — the torn
+// open table must surface as a violation, and recovery must clear it.
+func TestCheckDetectsTornOpenTable(t *testing.T) {
+	r := newAuditRig()
+	c := r.clients[0]
+	file := c.Create(1, 1, false, false)
+	if _, _, err := c.Open(1, 1, file, true, true, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(0, 0) // keep the handle open; no data needed
+	if vs := Run(r); len(vs) > 0 {
+		t.Fatalf("clean rig audits dirty: %v", vs)
+	}
+
+	now := r.clock.Now()
+	out := r.servers[0].Crash(now)
+	r.servers[0].Restart(now)
+	if out.OpensDropped != 1 {
+		t.Fatalf("crash dropped %d opens, want 1", out.OpensDropped)
+	}
+	vs := Run(r)
+	if len(vs) == 0 {
+		t.Fatal("auditor found no violations in a torn open table")
+	}
+	if vs[0].Rule != "open-tables" {
+		t.Errorf("first violation is %q, want open-tables: %s", vs[0].Rule, vs[0])
+	}
+
+	// Run the recovery protocol: the same system must now audit clean —
+	// recovery closes exactly the gap the crash opened.
+	for _, ws := range r.clients {
+		ws.RecoverServer(r.servers[0])
+	}
+	if vs := Run(r); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("after recovery: %s", v)
+		}
+	}
+}
+
+// TestCheckAcknowledgedSyncDataSurvives pins the no-lost-acknowledged-data
+// invariant: once Fsync returns, a workstation crash destroys nothing —
+// the bytes are the server's responsibility, and conservation still holds.
+func TestCheckAcknowledgedSyncDataSurvives(t *testing.T) {
+	r := newAuditRig()
+	c := r.clients[0]
+	file := c.Create(1, 1, false, false)
+	h, _, err := c.Open(1, 1, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(h, 6000)
+	c.Fsync(h)
+
+	loss := c.Crash(r.clock.Now())
+	r.servers[0].Disconnect(c.ID(), r.clock.Now())
+	if loss.DirtyBytes != 0 {
+		t.Errorf("crash after fsync lost %d acknowledged bytes", loss.DirtyBytes)
+	}
+	if vs := Run(r); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+	}
+	if got := r.servers[0].Stats().WriteBackBytes; got != 6000 {
+		t.Errorf("server accepted %d bytes, want the 6000 fsync shipped", got)
+	}
+}

@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/netsim"
+	"spritefs/internal/server"
+	"spritefs/internal/sim"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	const text = "server-crash:0@10m0s/30s,partition:3@5m0s/20s,client-crash:2@15m0s," +
+		"delay@0s/1h0m0s/20ms,drop@0s/1h0m0s/500ms/2"
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(s.Events))
+	}
+	// Events come back sorted by time; re-parse of String must be identical.
+	if s.Events[0].Kind != Delay || s.Events[1].Kind != Drop || s.Events[2].Kind != Partition {
+		t.Errorf("events not time-sorted: %v", s)
+	}
+	again, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if again.String() != s.String() {
+		t.Errorf("round trip changed schedule:\n  %s\n  %s", s, again)
+	}
+	crash := s.Events[3]
+	if crash.Kind != ServerCrash || crash.Target != 0 || crash.At != 10*time.Minute || crash.Duration != 30*time.Second {
+		t.Errorf("server crash parsed as %+v", crash)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"server-crash@10m/30s",     // missing target
+		"delay:1@0s/1m/5ms",        // spurious target
+		"explode:0@10m/30s",        // unknown kind
+		"server-crash:0@10m",       // missing outage duration
+		"drop@0s/1m/500ms/0",       // drop period < 1
+		"partition:-1@5m/20s",      // negative target
+		"server-crash:0@tenmin/1s", // unparseable duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRandomIsDeterministicAndSorted(t *testing.T) {
+	a := Random(sim.NewRand(42), time.Hour, 50, 4, 10)
+	b := Random(sim.NewRand(42), time.Hour, 50, 4, 10)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different schedules")
+	}
+	if Random(sim.NewRand(7), time.Hour, 50, 4, 10).String() == a.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatalf("events unsorted at %d: %v after %v", i, a.Events[i].At, a.Events[i-1].At)
+		}
+	}
+	for _, ev := range a.Events {
+		if ev.At <= 0 || ev.At >= time.Hour {
+			t.Errorf("event time %v outside (0, horizon)", ev.At)
+		}
+	}
+}
+
+// rig is a minimal System: one clock, one wire, two servers, two clients.
+type rig struct {
+	clock   *sim.Sim
+	net     *netsim.Network
+	servers []*server.Server
+	clients []*client.Client
+}
+
+func (r *rig) Clock() *sim.Sim                  { return r.clock }
+func (r *rig) Wire() *netsim.Network            { return r.net }
+func (r *rig) FileServers() []*server.Server    { return r.servers }
+func (r *rig) Workstations() []*client.Client   { return r.clients }
+func (r *rig) RecallFrom(cl int32, file uint64) { r.clients[cl].FlushForRecall(file) }
+func (r *rig) DisableCaching(cls []int32, file uint64) {
+	for _, id := range cls {
+		r.clients[id].DisableFor(file)
+	}
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{clock: sim.New(1), net: netsim.New(netsim.DefaultConfig())}
+	for i := 0; i < 2; i++ {
+		s := server.New(int16(i))
+		s.AttachStorage(1024)
+		r.servers = append(r.servers, s)
+	}
+	route := func(file uint64) *server.Server { return r.servers[file>>48] }
+	for i := 0; i < 2; i++ {
+		c := client.New(client.DefaultConfig(int32(i)), r.clock, r.net, route, r.servers[0], nil)
+		c.SetCoordinator(r)
+		r.clients = append(r.clients, c)
+	}
+	return r
+}
+
+func TestInjectorServerCrashDrivesRecovery(t *testing.T) {
+	r := newRig(t)
+	c := r.clients[0]
+	file := c.Create(1, 1, false, false)
+	h, _, err := c.Open(1, 1, file, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(h, 8000)
+
+	sched, err := Parse("server-crash:0@10s/5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := Attach(r, sched)
+	r.clock.RunUntil(time.Minute)
+
+	st := inj.Stats()
+	if st.ServerCrashes != 1 {
+		t.Fatalf("stats = %+v, want 1 server crash", st)
+	}
+	if st.ReplayedBytes != 8000 {
+		t.Errorf("replayed %d bytes, want 8000 (dirty data must come back)", st.ReplayedBytes)
+	}
+	if st.MaxReopenStorm != 1 {
+		t.Errorf("reopen storm = %d, want 1", st.MaxReopenStorm)
+	}
+	// Time-to-reconsistency covers at least the 5s outage window.
+	if st.MaxTimeToReconsistency < 5*time.Second {
+		t.Errorf("time-to-reconsistency %v < outage 5s", st.MaxTimeToReconsistency)
+	}
+	if got := r.servers[0].Stats().MaxRecoveryTime; got != st.MaxTimeToReconsistency {
+		t.Errorf("server recovery time %v != injector's %v", got, st.MaxTimeToReconsistency)
+	}
+	// Registration is exact after the storm: the close balances.
+	if _, err := c.Close(h); err != nil {
+		t.Errorf("close after recovery: %v", err)
+	}
+	if c.Cache.FileDirty(file) {
+		t.Error("dirty data still cached after recovery replay")
+	}
+}
+
+func TestInjectorOutageStallsRPCs(t *testing.T) {
+	r := newRig(t)
+	sched, _ := Parse("server-crash:0@10s/30s")
+	Attach(r, sched)
+	r.clock.RunUntil(20 * time.Second) // mid-outage
+
+	healthy := r.net.RPCTo(1, 0, netsim.Control, 0)
+	stalled := r.net.RPCTo(0, 0, netsim.Control, 0)
+	if want := healthy + 20*time.Second; stalled != want {
+		t.Errorf("mid-outage RPC latency = %v, want %v", stalled, want)
+	}
+	if st := r.net.FaultStats(); st.StalledOps != 1 {
+		t.Errorf("stalled ops = %d, want 1", st.StalledOps)
+	}
+}
+
+func TestInjectorClientCrashDisconnects(t *testing.T) {
+	r := newRig(t)
+	c := r.clients[1]
+	file := c.Create(1, 1, false, false)
+	if _, _, err := c.Open(1, 1, file, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(0, 0) // no-op; keep handle open
+
+	sched, _ := Parse("client-crash:1@10s")
+	inj := Attach(r, sched)
+	r.clock.RunUntil(time.Minute)
+
+	if st := inj.Stats(); st.ClientCrashes != 1 {
+		t.Fatalf("stats = %+v, want 1 client crash", st)
+	}
+	f := r.servers[0].Lookup(file)
+	if rd, wr := f.Registration(1); rd != 0 || wr != 0 {
+		t.Errorf("crashed client still registered: r=%d w=%d", rd, wr)
+	}
+}
+
+func TestInjectorPartitionIsClientScoped(t *testing.T) {
+	r := newRig(t)
+	sched, _ := Parse("partition:0@10s/20s")
+	Attach(r, sched)
+	r.clock.RunUntil(15 * time.Second)
+
+	healthy := r.net.RPCTo(0, 1, netsim.Control, 0)
+	cut := r.net.RPCTo(0, 0, netsim.Control, 0)
+	if want := healthy + 15*time.Second; cut != want {
+		t.Errorf("partitioned client latency = %v, want %v", cut, want)
+	}
+}
+
+func TestInjectorSkipsMissingTargets(t *testing.T) {
+	r := newRig(t)
+	sched, _ := Parse("server-crash:9@10s/5s,client-crash:9@10s")
+	inj := Attach(r, sched)
+	r.clock.RunUntil(time.Minute)
+	if st := inj.Stats(); st.Skipped != 2 || st.ServerCrashes != 0 || st.ClientCrashes != 0 {
+		t.Errorf("stats = %+v, want 2 skipped", st)
+	}
+}

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"time"
+
+	"spritefs/internal/client"
+	"spritefs/internal/netsim"
+	"spritefs/internal/server"
+)
+
+// Stats aggregates what a schedule's injection actually did and destroyed.
+type Stats struct {
+	ServerCrashes int64
+	ClientCrashes int64
+	Partitions    int64
+	DelayWindows  int64
+	DropWindows   int64
+	Skipped       int64 // events whose target did not exist at fire time
+
+	// Data destroyed, per the crash accounting in fscache/crash.go.
+	ServerDirtyLost int64 // un-synced server-cache bytes lost to crashes
+	ClientDirtyLost int64 // client delayed-write bytes lost to crashes
+	MaxDirtyAge     time.Duration
+
+	// Recovery-protocol outcomes.
+	ReplayedBytes          int64 // dirty bytes replayed during driven sweeps
+	MaxReopenStorm         int   // most handles re-registered after one restart
+	MaxTimeToReconsistency time.Duration
+}
+
+// Injector drives one Schedule against one System. Create with Attach.
+type Injector struct {
+	sys  System
+	hook *hook
+	st   Stats
+}
+
+// Attach installs the fault hook on the system's network and schedules
+// every event on its clock. Events whose time has already passed fire
+// immediately. The injector shares the system's determinism: same seed,
+// same schedule, same run.
+func Attach(sys System, sched Schedule) *Injector {
+	inj := &Injector{
+		sys: sys,
+		hook: &hook{
+			clock:   sys.Clock(),
+			srvHeal: make(map[int16]time.Duration),
+			cliHeal: make(map[int32]time.Duration),
+		},
+	}
+	sys.Wire().SetHook(inj.hook)
+	clock := sys.Clock()
+	for _, ev := range sched.Events {
+		ev := ev
+		clock.After(ev.At-clock.Now(), func() { inj.fire(ev) })
+	}
+	return inj
+}
+
+// Stats returns a snapshot of the injection counters.
+func (inj *Injector) Stats() Stats { return inj.st }
+
+func (inj *Injector) fire(ev Event) {
+	clock := inj.sys.Clock()
+	now := clock.Now()
+	switch ev.Kind {
+	case ServerCrash:
+		servers := inj.sys.FileServers()
+		if ev.Target >= len(servers) {
+			inj.st.Skipped++
+			return
+		}
+		srv := servers[ev.Target]
+		out := srv.Crash(now)
+		// Logical restart at the crash instant: the outage manifests as
+		// stalled RPC latency via the hook window, while state semantics
+		// (epoch bump, volatile-state loss) take effect immediately.
+		srv.Restart(now)
+		inj.st.ServerCrashes++
+		inj.st.ServerDirtyLost += out.DirtyBytesLost
+		if out.MaxDirtyAge > inj.st.MaxDirtyAge {
+			inj.st.MaxDirtyAge = out.MaxDirtyAge
+		}
+		if ev.Duration > 0 {
+			heal := now + ev.Duration
+			if heal > inj.hook.srvHeal[srv.ID()] {
+				inj.hook.srvHeal[srv.ID()] = heal
+			}
+		}
+		// The recovery sweep — every workstation runs the protocol — fires
+		// when the outage heals (a client that opens a file sooner recovers
+		// lazily and pays the stall; the sweep is then a no-op for it).
+		clock.After(ev.Duration, func() { inj.recoverAll(srv, now) })
+
+	case ClientCrash:
+		ws := inj.findWorkstation(int32(ev.Target))
+		if ws == nil {
+			inj.st.Skipped++
+			return
+		}
+		loss := ws.Crash(now)
+		for _, srv := range inj.sys.FileServers() {
+			srv.Disconnect(ws.ID(), now)
+		}
+		inj.st.ClientCrashes++
+		inj.st.ClientDirtyLost += loss.DirtyBytes
+		if loss.MaxDirtyAge > inj.st.MaxDirtyAge {
+			inj.st.MaxDirtyAge = loss.MaxDirtyAge
+		}
+
+	case Partition:
+		heal := now + ev.Duration
+		if heal > inj.hook.cliHeal[int32(ev.Target)] {
+			inj.hook.cliHeal[int32(ev.Target)] = heal
+		}
+		inj.st.Partitions++
+
+	case Delay:
+		inj.hook.delays = append(inj.hook.delays, window{now, now + ev.Duration, ev.Extra})
+		inj.st.DelayWindows++
+
+	case Drop:
+		inj.hook.drops = append(inj.hook.drops, &dropWindow{
+			from: now, to: now + ev.Duration, every: ev.Every, retry: ev.Extra,
+		})
+		inj.st.DropWindows++
+	}
+}
+
+// recoverAll is the post-restart reopen storm: every live workstation runs
+// the recovery protocol against srv. Time-to-reconsistency is measured
+// from the crash to the slowest client's protocol completion.
+func (inj *Injector) recoverAll(srv *server.Server, crashedAt time.Duration) {
+	storm := 0
+	var slowest time.Duration
+	for _, ws := range inj.sys.Workstations() {
+		res := ws.RecoverServer(srv)
+		storm += res.Reopened
+		inj.st.ReplayedBytes += res.ReplayedBytes
+		if res.Latency > slowest {
+			slowest = res.Latency
+		}
+	}
+	ttr := inj.sys.Clock().Now() - crashedAt + slowest
+	srv.NoteRecovery(ttr)
+	if ttr > inj.st.MaxTimeToReconsistency {
+		inj.st.MaxTimeToReconsistency = ttr
+	}
+	if storm > inj.st.MaxReopenStorm {
+		inj.st.MaxReopenStorm = storm
+	}
+}
+
+func (inj *Injector) findWorkstation(id int32) *client.Client {
+	for _, ws := range inj.sys.Workstations() {
+		if ws.ID() == id {
+			return ws
+		}
+	}
+	return nil
+}
+
+// window is a [from, to) interval adding extra latency to every RPC.
+type window struct {
+	from, to time.Duration
+	extra    time.Duration
+}
+
+// dropWindow loses every every-th RPC in [from, to), charging retry per loss.
+type dropWindow struct {
+	from, to time.Duration
+	every    int
+	retry    time.Duration
+	count    int
+}
+
+// hook implements netsim.Hook from the injector's active fault windows.
+// Partitions and outages stall an RPC until the window heals; the wire's
+// accounting keeps stall time out of utilization (waiting is not transfer).
+type hook struct {
+	clock   interface{ Now() time.Duration }
+	srvHeal map[int16]time.Duration
+	cliHeal map[int32]time.Duration
+	delays  []window
+	drops   []*dropWindow
+}
+
+func (h *hook) Outcome(srv int16, cli int32, class netsim.Class, payload int64) netsim.Outcome {
+	now := h.clock.Now()
+	var o netsim.Outcome
+	if heal, ok := h.srvHeal[srv]; ok && now < heal {
+		o.ExtraDelay += heal - now
+	}
+	if heal, ok := h.cliHeal[cli]; ok && now < heal {
+		o.ExtraDelay += heal - now
+	}
+	for _, w := range h.delays {
+		if now >= w.from && now < w.to {
+			o.ExtraDelay += w.extra
+		}
+	}
+	for _, d := range h.drops {
+		if now >= d.from && now < d.to {
+			d.count++
+			if d.count%d.every == 0 {
+				o.Dropped++
+				o.ExtraDelay += d.retry
+			}
+		}
+	}
+	return o
+}

@@ -29,15 +29,16 @@ type CleanReason uint8
 
 // Cleaning reasons.
 const (
-	CleanDelay  CleanReason = iota // 30-second delayed-write expiry
-	CleanFsync                     // application requested write-through
-	CleanRecall                    // server recalled dirty data for another client
-	CleanVM                        // page handed to the virtual memory system
-	CleanEvict                     // LRU evicted a dirty block (rare)
+	CleanDelay   CleanReason = iota // 30-second delayed-write expiry
+	CleanFsync                      // application requested write-through
+	CleanRecall                     // server recalled dirty data for another client
+	CleanVM                         // page handed to the virtual memory system
+	CleanEvict                      // LRU evicted a dirty block (rare)
+	CleanRecover                    // dirty data replayed to a restarted server
 	NumCleanReasons
 )
 
-var cleanNames = [NumCleanReasons]string{"delay", "fsync", "recall", "vm", "evict"}
+var cleanNames = [NumCleanReasons]string{"delay", "fsync", "recall", "vm", "evict", "recover"}
 
 // String returns the reason name.
 func (r CleanReason) String() string {

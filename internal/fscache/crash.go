@@ -1,0 +1,124 @@
+// Crash and recovery support: the operations the fault-injection layer
+// (internal/faults) needs from a block cache. A cache is volatile memory —
+// a workstation or server crash discards every resident block, and dirty
+// bytes that never reached stable storage are the "data at risk" the
+// paper's 30-second delayed-write policy bounds. DiscardAll measures that
+// loss; RecoverFlush is the client half of the Sprite recovery protocol
+// (replay dirty blocks to a restarted server); CheckInvariants is the
+// structural self-audit the fault-schedule harness runs after every
+// injected fault sequence.
+
+package fscache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CrashLoss describes what a cache crash destroyed.
+type CrashLoss struct {
+	Blocks      int
+	DirtyBlocks int
+	DirtyBytes  int64
+	// MaxDirtyAge is the longest any lost dirty block had been dirty.
+	// Under a working delayed-write daemon it is bounded by the writeback
+	// delay plus one cleaner period — the paper's "at most 30 seconds of
+	// work" reliability claim, made checkable.
+	MaxDirtyAge time.Duration
+}
+
+// DiscardAll models a crash: every resident block vanishes without
+// writeback and the loss is measured. Counters survive (they model the
+// measurement infrastructure, not the crashed memory).
+func (c *Cache) DiscardAll(now time.Duration) CrashLoss {
+	var loss CrashLoss
+	for _, fb := range c.files {
+		for _, b := range fb {
+			loss.Blocks++
+			if b.dirty {
+				loss.DirtyBlocks++
+				loss.DirtyBytes += b.dirtyHi
+				if age := now - b.dirtyAt; age > loss.MaxDirtyAge {
+					loss.MaxDirtyAge = age
+				}
+			}
+		}
+	}
+	c.files = make(map[uint64]fileBlocks)
+	c.lru.Init()
+	c.nblocks = 0
+	c.ndirty = 0
+	c.dirtyBytes = 0
+	return loss
+}
+
+// DirtyFiles returns the ids of all files with at least one dirty block,
+// in ascending order so recovery replay is deterministic.
+func (c *Cache) DirtyFiles() []uint64 {
+	var out []uint64
+	for f, fb := range c.files {
+		for _, b := range fb {
+			if b.dirty {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecoverFlush returns all dirty blocks of file for replay to a restarted
+// server (the client half of Sprite's recovery protocol). Blocks become
+// clean; the writebacks are tagged CleanRecover so recovery traffic is
+// distinguishable from ordinary delayed writes in Table 9.
+func (c *Cache) RecoverFlush(file uint64, now time.Duration) []Writeback {
+	return c.flushFile(file, CleanRecover, now)
+}
+
+// CheckInvariants audits the cache's internal accounting: block counts,
+// dirty counts and dirty bytes must match a full recount, the LRU list
+// must track the block map, and per-block watermarks must be ordered.
+// It returns the first inconsistency found, or nil. The fault harness
+// calls it after every injected fault sequence.
+func (c *Cache) CheckInvariants() error {
+	var nblocks, ndirty int
+	var dirtyBytes int64
+	for f, fb := range c.files {
+		for idx, b := range fb {
+			nblocks++
+			if b.file != f || b.index != idx {
+				return fmt.Errorf("fscache: block keyed (%#x,%d) holds (%#x,%d)", f, idx, b.file, b.index)
+			}
+			if b.validHi < 0 || b.validHi > BlockSize {
+				return fmt.Errorf("fscache: block (%#x,%d) validHi %d out of range", f, idx, b.validHi)
+			}
+			if b.dirtyHi < 0 || b.dirtyHi > b.validHi {
+				return fmt.Errorf("fscache: block (%#x,%d) dirtyHi %d exceeds validHi %d", f, idx, b.dirtyHi, b.validHi)
+			}
+			if b.dirty {
+				ndirty++
+				dirtyBytes += b.dirtyHi
+				if b.dirtyHi == 0 {
+					return fmt.Errorf("fscache: block (%#x,%d) dirty with zero dirtyHi", f, idx)
+				}
+			} else if b.dirtyHi != 0 {
+				return fmt.Errorf("fscache: clean block (%#x,%d) has dirtyHi %d", f, idx, b.dirtyHi)
+			}
+		}
+	}
+	if nblocks != c.nblocks {
+		return fmt.Errorf("fscache: nblocks %d, recount %d", c.nblocks, nblocks)
+	}
+	if ndirty != c.ndirty {
+		return fmt.Errorf("fscache: ndirty %d, recount %d", c.ndirty, ndirty)
+	}
+	if dirtyBytes != c.dirtyBytes {
+		return fmt.Errorf("fscache: dirtyBytes %d, recount %d", c.dirtyBytes, dirtyBytes)
+	}
+	if c.lru.Len() != c.nblocks {
+		return fmt.Errorf("fscache: lru holds %d blocks, map holds %d", c.lru.Len(), c.nblocks)
+	}
+	return nil
+}

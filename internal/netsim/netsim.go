@@ -120,6 +120,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// AnyServer marks an RPC whose destination server is unknown or
+// irrelevant (e.g. VM backing traffic). Fault hooks see it verbatim and
+// apply only client-scoped faults to such transfers.
+const AnyServer int16 = -1
+
+// Outcome is a fault hook's verdict on one RPC: how many times the packet
+// was lost and retransmitted before succeeding, and how much extra time
+// the transfer stalled (retransmission timeouts, partition waits, injected
+// link delay). The RPC always completes — the simulator is analytic, so
+// faults surface as latency and counters, never as lost state.
+type Outcome struct {
+	Dropped    int // retransmissions before the RPC got through
+	ExtraDelay time.Duration
+}
+
+// Hook inspects every RPC and returns the fault-induced perturbation.
+// internal/faults installs one to drive partitions, drop windows and
+// delay windows from the simulation clock; a nil hook means a healthy
+// network. server is AnyServer when the destination is not modeled.
+type Hook interface {
+	Outcome(server int16, client int32, class Class, payload int64) Outcome
+}
+
+// FaultStats counts the perturbations a hook applied at the wire.
+type FaultStats struct {
+	DroppedOps int64         // RPCs that lost at least one packet
+	Retransmit int64         // total retransmissions
+	StalledOps int64         // RPCs that incurred extra delay
+	StallTime  time.Duration // total extra delay added by faults
+}
+
 // Network is the shared interconnect. It is passive: callers ask for the
 // cost of an RPC and schedule their own delays on the simulator clock;
 // Network records the byte accounting and cumulative busy time.
@@ -128,6 +159,8 @@ type Network struct {
 	total     Traffic
 	perClient map[int32]*Traffic
 	busy      time.Duration
+	hook      Hook
+	faults    FaultStats
 }
 
 // New returns a network with the given configuration. A zero bandwidth is
@@ -145,10 +178,25 @@ func New(cfg Config) *Network {
 	}
 }
 
+// SetHook installs (or, with nil, removes) the fault hook consulted on
+// every RPC.
+func (n *Network) SetHook(h Hook) { n.hook = h }
+
+// FaultStats returns a snapshot of the fault perturbation counters.
+func (n *Network) FaultStats() FaultStats { return n.faults }
+
 // RPC accounts one remote procedure call of the given class carrying
 // payload bytes on behalf of client, and returns its service time.
 // Negative payloads are a programming error and panic.
 func (n *Network) RPC(client int32, class Class, payload int64) time.Duration {
+	return n.RPCTo(AnyServer, client, class, payload)
+}
+
+// RPCTo is RPC with the destination server named, so fault hooks can
+// scope outages to one server. Wire-busy time excludes fault stalls (the
+// wire is idle while a client waits out a partition or retransmission
+// timeout); StallTime accumulates them separately.
+func (n *Network) RPCTo(server int16, client int32, class Class, payload int64) time.Duration {
 	if payload < 0 {
 		panic(fmt.Sprintf("netsim: negative payload %d", payload))
 	}
@@ -166,6 +214,18 @@ func (n *Network) RPC(client int32, class Class, payload int64) time.Duration {
 	n.total.Ops[class]++
 	d := n.cfg.BaseLatency + time.Duration(float64(payload)/n.cfg.BandwidthBps*float64(time.Second))
 	n.busy += d
+	if n.hook != nil {
+		o := n.hook.Outcome(server, client, class, payload)
+		if o.Dropped > 0 {
+			n.faults.DroppedOps++
+			n.faults.Retransmit += int64(o.Dropped)
+		}
+		if o.ExtraDelay > 0 {
+			n.faults.StalledOps++
+			n.faults.StallTime += o.ExtraDelay
+			d += o.ExtraDelay
+		}
+	}
 	return d
 }
 

@@ -1,0 +1,117 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"spritefs/internal/faults"
+	"spritefs/internal/fscache"
+	"spritefs/internal/trace"
+)
+
+// faultedCfg is the golden replay-under-faults configuration: the captured
+// trace with server 0 crashing mid-run and staying unreachable for 30s.
+func faultedCfg(name string) Config {
+	cfg := replayCfg(name)
+	sched, err := faults.Parse("server-crash:0@1h0m0s/30s")
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = sched
+	return cfg
+}
+
+// TestReplayUnderFaultsBoundsLoss pins the paper's delayed-write risk claim
+// on a replayed trace: a mid-trace server crash destroys only data that had
+// been dirty for less than the writeback interval, because anything older
+// had already been flushed by the cleaner daemons.
+func TestReplayUnderFaultsBoundsLoss(t *testing.T) {
+	live := capturedTrace(t)
+	res, err := Run(faultedCfg("crash"), trace.NewSliceStream(live.recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Report.Recovery
+	if rec.ServerCrashes != 1 || res.Faults.ServerCrashes != 1 {
+		t.Fatalf("expected exactly one server crash, got report %d / injector %d",
+			rec.ServerCrashes, res.Faults.ServerCrashes)
+	}
+	t.Logf("crash cost: %d dirty bytes lost (max age %v), %d opens lost, %d replayed, storm %d, ttr %v",
+		rec.DirtyBytesLost, rec.MaxDirtyAge, rec.OpensLostInCrash,
+		rec.ReplayedBytes, res.Faults.MaxReopenStorm, rec.MaxTimeToReconsistency)
+
+	// The headline bound: no lost byte was dirty longer than the writeback
+	// delay plus one cleaner period (the cleaner samples age every period).
+	bound := fscache.WritebackDelay + fscache.CleanerPeriod + time.Second
+	if rec.MaxDirtyAge > bound {
+		t.Errorf("lost dirty data aged %v, exceeds writeback bound %v", rec.MaxDirtyAge, bound)
+	}
+	// The recovery protocol ran: clients noticed the restart and reopened.
+	if rec.Recoveries == 0 {
+		t.Error("no client ran the recovery protocol after the crash")
+	}
+	if rec.MaxTimeToReconsistency < 30*time.Second {
+		t.Errorf("time-to-reconsistency %v shorter than the 30s outage", rec.MaxTimeToReconsistency)
+	}
+	if rec.GaveUp != 0 {
+		t.Errorf("%d recovery attempts gave up against a restarted server", rec.GaveUp)
+	}
+	// The faulted replay still applies every record cleanly — faults change
+	// latencies and cache state, never the reference string.
+	if res.Stats.Errors != 0 || res.Stats.UnknownHandle != 0 {
+		t.Errorf("faulted replay not clean: %+v", res.Stats)
+	}
+	base, err := Run(replayCfg("clean"), trace.NewSliceStream(live.recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Applied != base.Stats.Applied {
+		t.Errorf("crash changed the applied record count: %d vs %d",
+			res.Stats.Applied, base.Stats.Applied)
+	}
+	if res.Report.Table10.FileOpens != base.Report.Table10.FileOpens {
+		t.Errorf("crash changed the open count")
+	}
+}
+
+// TestFaultedSweepWorkerCountInvariance extends the sweep acceptance
+// criterion to faulted replays: the same schedule replayed under 1 and 4
+// workers yields byte-identical reports, so fault injection costs nothing
+// in determinism.
+func TestFaultedSweepWorkerCountInvariance(t *testing.T) {
+	live := capturedTrace(t)
+	cfgs := []Config{faultedCfg("crash"), replayCfg("clean")}
+
+	serial, err := RunSweep(live.recs, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(live.recs, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i].Stats != parallel[i].Stats {
+			t.Errorf("config %q: stats diverge across worker counts", cfgs[i].Name)
+		}
+		if serial[i].Faults != parallel[i].Faults {
+			t.Errorf("config %q: fault stats diverge across worker counts:\n%+v\n%+v",
+				cfgs[i].Name, serial[i].Faults, parallel[i].Faults)
+		}
+		if !reflect.DeepEqual(serial[i].Report, parallel[i].Report) {
+			t.Errorf("config %q: reports diverge across worker counts", cfgs[i].Name)
+		}
+		if a, b := ReplayTable(serial[i]).String(), ReplayTable(parallel[i]).String(); a != b {
+			t.Errorf("config %q: rendered reports not byte-identical", cfgs[i].Name)
+		}
+	}
+	// The golden run is also stable across repeated executions.
+	again, err := Run(faultedCfg("crash"), trace.NewSliceStream(live.recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Faults != serial[0].Faults || !reflect.DeepEqual(again.Report, serial[0].Report) {
+		t.Error("faulted replay not reproducible run to run")
+	}
+}

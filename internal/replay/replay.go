@@ -31,6 +31,7 @@ import (
 
 	"spritefs/internal/client"
 	"spritefs/internal/cluster"
+	"spritefs/internal/faults"
 	"spritefs/internal/fscache"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
@@ -84,6 +85,10 @@ type Config struct {
 	// engine's own scrub of self-trace records). Use KeepClients /
 	// KeepServers / KeepKinds / And to build filters.
 	Keep func(*trace.Record) bool
+	// Faults injects crashes, partitions and network perturbations into
+	// the replay on the virtual clock — replaying the same trace with and
+	// without a mid-run server crash isolates exactly what the fault cost.
+	Faults faults.Schedule
 }
 
 // Stats counts what the engine did with the stream.
@@ -105,6 +110,7 @@ type Result struct {
 	Config  Config
 	Stats   Stats
 	Report  cluster.Report
+	Faults  faults.Stats  // what the schedule injected (zero when empty)
 	Horizon time.Duration // virtual time of the last applied record
 	End     time.Duration // virtual time after the drain
 }
@@ -124,6 +130,9 @@ type Engine struct {
 
 	clients map[int32]*client.Client
 	handles map[uint64]liveHandle
+
+	// Injector drives cfg.Faults; nil when the schedule is empty.
+	Injector *faults.Injector
 
 	samples []cluster.Sample
 	lastOps map[int32]int64
@@ -163,7 +172,31 @@ func New(cfg Config) *Engine {
 		}
 		e.Servers = append(e.Servers, srv)
 	}
+	if !cfg.Faults.Empty() {
+		e.Injector = faults.Attach(e, cfg.Faults)
+	}
 	return e
+}
+
+// Clock implements faults.System.
+func (e *Engine) Clock() *sim.Sim { return e.Sim }
+
+// Wire implements faults.System.
+func (e *Engine) Wire() *netsim.Network { return e.Net }
+
+// FileServers implements faults.System.
+func (e *Engine) FileServers() []*server.Server { return e.Servers }
+
+// Workstations implements faults.System: the clients materialized so far,
+// in id order. Consulted at fault-fire time, so a crash only ever hits
+// workstations the trace has already brought up.
+func (e *Engine) Workstations() []*client.Client {
+	ids := e.sortedIDs()
+	out := make([]*client.Client, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, e.clients[id])
+	}
+	return out
 }
 
 // route maps file ids to servers, identically to the live cluster.
@@ -334,13 +367,17 @@ func (e *Engine) Run(s trace.Stream) (*Result, error) {
 		tk.Stop()
 	}
 
-	return &Result{
+	res := &Result{
 		Config:  e.cfg,
 		Stats:   e.stats,
 		Report:  e.Metrics().Report(),
 		Horizon: horizon,
 		End:     e.Sim.Now(),
-	}, nil
+	}
+	if e.Injector != nil {
+		res.Faults = e.Injector.Stats()
+	}
+	return res, nil
 }
 
 // ensureFile materializes a file the trace references but never created

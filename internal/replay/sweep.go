@@ -100,6 +100,24 @@ func ReplayTable(r *Result) *stats.Table {
 	row("migrations", r.Stats.Migrations)
 	t.AddRow("trace horizon", fmt.Sprintf("%v", r.Horizon.Round(time.Millisecond)))
 	t.AddRow("virtual end", fmt.Sprintf("%v", r.End.Round(time.Millisecond)))
+	if !r.Config.Faults.Empty() {
+		rec := r.Report.Recovery
+		row("server crashes", rec.ServerCrashes)
+		row("client crashes", rec.ClientCrashes)
+		row("opens lost in crash", rec.OpensLostInCrash)
+		row("dirty bytes lost", rec.DirtyBytesLost)
+		t.AddRow("max dirty age lost", fmt.Sprintf("%v", rec.MaxDirtyAge.Round(time.Millisecond)))
+		row("recoveries", rec.Recoveries)
+		row("recovery reopens", rec.RecoveryOpens)
+		row("recovery replayed bytes", rec.ReplayedBytes)
+		row("recovery retries", rec.RecoveryRetries)
+		row("recovery gave up", rec.GaveUp)
+		row("max reopen storm", int64(r.Faults.MaxReopenStorm))
+		t.AddRow("time to reconsistency", fmt.Sprintf("%v", rec.MaxTimeToReconsistency.Round(time.Millisecond)))
+		row("rpcs dropped", rec.DroppedOps)
+		row("rpcs stalled", rec.StalledOps)
+		t.AddRow("stall time", fmt.Sprintf("%v", rec.StallTime.Round(time.Millisecond)))
+	}
 	return t
 }
 

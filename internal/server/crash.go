@@ -1,0 +1,186 @@
+// Crash, restart and recovery: the server half of Sprite's stateful
+// recovery protocol. A Sprite server keeps its open-file tables and
+// write-sharing state in volatile memory, so a crash discards them; after
+// restart, clients re-register their open handles (Recover) and replay
+// dirty blocks, and the server rebuilds consistency state from the
+// re-registrations. Authoritative file metadata (the files map models the
+// on-disk name space) survives; only open registrations, last-writer hints,
+// cacheability decisions and un-synced server-cache blocks are lost.
+
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrDown is returned by operations attempted while the server is crashed
+// and not yet restarted.
+var ErrDown = errors.New("server: down")
+
+// CrashOutcome describes what a crash destroyed.
+type CrashOutcome struct {
+	OpensDropped   int           // open registrations discarded
+	DirtyBytesLost int64         // un-synced server-cache bytes lost
+	MaxDirtyAge    time.Duration // oldest lost dirty byte's age
+}
+
+// Crash discards the server's volatile state: every open registration,
+// last-writer hint and write-sharing decision, plus any server-cache
+// blocks not yet synced to disk. File metadata survives (it models the
+// on-disk name space). The server is down until Restart.
+func (s *Server) Crash(now time.Duration) CrashOutcome {
+	var out CrashOutcome
+	for _, f := range s.files {
+		for _, n := range f.readers {
+			out.OpensDropped += n
+		}
+		for _, n := range f.writers {
+			out.OpensDropped += n
+		}
+		f.readers = make(map[int32]int)
+		f.writers = make(map[int32]int)
+		f.lastWriter = NoClient
+		f.uncacheable = false
+	}
+	if s.Store != nil {
+		loss := s.Store.Crash(now)
+		out.DirtyBytesLost = loss.DirtyBytes
+		out.MaxDirtyAge = loss.MaxDirtyAge
+	}
+	s.down = true
+	s.st.Crashes++
+	s.st.OpensLostInCrash += int64(out.OpensDropped)
+	return out
+}
+
+// Restart brings a crashed server back up under a new epoch. Clients
+// notice the epoch change and run the recovery protocol.
+func (s *Server) Restart(now time.Duration) {
+	s.down = false
+	s.epoch++
+}
+
+// Down reports whether the server is crashed and not yet restarted.
+func (s *Server) Down() bool { return s.down }
+
+// Epoch returns the restart generation. It changes exactly when volatile
+// state has been lost, so a client that cached the epoch at open time can
+// detect a restart by comparison alone.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// Disconnect purges one client's open registrations, as the server does
+// when a workstation crashes (Sprite servers detect dead clients and clean
+// up their state). It returns the number of registrations dropped.
+func (s *Server) Disconnect(client int32, now time.Duration) int {
+	dropped := 0
+	for _, f := range s.files {
+		if n := f.readers[client]; n > 0 {
+			dropped += n
+			delete(f.readers, client)
+		}
+		if n := f.writers[client]; n > 0 {
+			dropped += n
+			delete(f.writers, client)
+		}
+		if f.lastWriter == client {
+			f.lastWriter = NoClient
+		}
+		if f.uncacheable && f.Openers() == 0 {
+			f.uncacheable = false
+		}
+	}
+	return dropped
+}
+
+// Recover re-registers a client's open handles for one file after a server
+// restart. readCount and writeCount are the client's authoritative handle
+// counts; the server SETS its registration to them rather than adding, so
+// recovery is idempotent — a retried or duplicate re-registration cannot
+// double-count opens. Write-sharing is re-detected from the rebuilt open
+// table; re-detections count as RecoveryCWS, not as new CWS events, so
+// Table 10 is not inflated by recovery.
+func (s *Server) Recover(id uint64, client int32, readCount, writeCount int, now time.Duration) (OpenReply, error) {
+	if s.down {
+		return OpenReply{}, ErrDown
+	}
+	f := s.files[id]
+	if f == nil {
+		// Deleted while the client was cut off; the client drops the handle.
+		return OpenReply{}, fmt.Errorf("server %d: recover of unknown file %#x", s.id, id)
+	}
+	if readCount > 0 {
+		f.readers[client] = readCount
+	} else {
+		delete(f.readers, client)
+	}
+	if writeCount > 0 {
+		f.writers[client] = writeCount
+	} else {
+		delete(f.writers, client)
+	}
+	s.st.RecoveryOpens++
+
+	reply := OpenReply{Version: f.Version, Size: f.Size, Cacheable: true, RecallFrom: NoClient}
+	if f.Directory {
+		reply.Cacheable = false
+		return reply, nil
+	}
+	if !f.uncacheable && f.Openers() >= 2 && f.WriterCount() >= 1 {
+		f.uncacheable = true
+		reply.StartedCWS = true
+		reply.DisableOn = f.disableList(client)
+		s.st.RecoveryCWS++
+	}
+	if f.uncacheable {
+		reply.Cacheable = false
+	}
+	return reply, nil
+}
+
+// disableList returns the clients other than except that cache the file
+// and must flush and bypass when write-sharing starts, sorted so the
+// disable sequence is deterministic.
+func (f *File) disableList(except int32) []int32 {
+	var out []int32
+	for c := range f.readers {
+		if c != except {
+			out = append(out, c)
+		}
+	}
+	for c := range f.writers {
+		if c != except && f.readers[c] == 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Registration returns the server's open registration counts for one
+// client on this file (the server half of what the invariant checker
+// compares against client handle tables).
+func (f *File) Registration(client int32) (readers, writers int) {
+	return f.readers[client], f.writers[client]
+}
+
+// FileIDs returns the ids of all live files in ascending order.
+func (s *Server) FileIDs() []uint64 {
+	out := make([]uint64, 0, len(s.files))
+	for id := range s.files {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NoteRecovery records one client's completed recovery: d is the time from
+// crash to that client regaining a consistent view. The maximum across
+// clients is the cluster's time-to-reconsistency.
+func (s *Server) NoteRecovery(d time.Duration) {
+	if d > s.st.MaxRecoveryTime {
+		s.st.MaxRecoveryTime = d
+	}
+}

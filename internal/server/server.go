@@ -13,7 +13,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -62,7 +61,7 @@ func (f *File) WriterCount() int { return len(f.writers) }
 func (f *File) Uncacheable() bool { return f.uncacheable }
 
 // Stats holds the consistency-action counters for Table 10 plus name-space
-// bookkeeping.
+// bookkeeping and the crash/recovery counters of the fault study.
 type Stats struct {
 	FileOpens   int64 // opens of regular files (Table 10's denominator)
 	DirOpens    int64
@@ -73,6 +72,20 @@ type Stats struct {
 	CWSEvents   int64 // opens that initiated concurrent write-sharing
 	CacheOffOps int64 // reads/writes passed through while uncacheable
 	Invalids    int64 // stale-version invalidations instructed to clients
+
+	// WriteBackBytes is every byte accepted via WriteBack — the server
+	// side of the conservation invariant the fault harness checks against
+	// the clients' shipped-byte counters.
+	WriteBackBytes int64
+
+	// Crash/recovery bookkeeping (see crash.go).
+	Crashes          int64 // times this server crashed
+	OpensLostInCrash int64 // open registrations discarded by crashes
+	RecoveryOpens    int64 // handle re-registrations served after restarts
+	RecoveryCWS      int64 // write-sharing re-detected during recovery
+	// MaxRecoveryTime is the longest time-to-reconsistency observed: from
+	// crash until the slowest client finished the recovery protocol.
+	MaxRecoveryTime time.Duration
 }
 
 // Server is one file server.
@@ -81,6 +94,16 @@ type Server struct {
 	files  map[uint64]*File
 	nextID uint64
 	st     Stats
+
+	// epoch counts restarts; clients compare it against the epoch they
+	// last saw to detect that their open registrations died with the
+	// server's volatile state.
+	epoch uint64
+	// down is true between Crash and Restart. The injector restarts
+	// logically at the crash instant (the outage surfaces as RPC stall
+	// latency), so a down window is only observable when Crash and
+	// Restart are driven separately.
+	down bool
 
 	// Store models the server's memory cache and disk when attached
 	// (AttachStorage); nil means storage is not modeled.
@@ -226,6 +249,9 @@ type OpenReply struct {
 // It returns the consistency actions the cluster must carry out. Opening
 // a missing file is an error.
 func (s *Server) Open(id uint64, client int32, write bool, now time.Duration) (OpenReply, error) {
+	if s.down {
+		return OpenReply{}, ErrDown
+	}
 	f := s.files[id]
 	if f == nil {
 		return OpenReply{}, fmt.Errorf("server %d: open of unknown file %#x", s.id, id)
@@ -258,22 +284,11 @@ func (s *Server) Open(id uint64, client int32, write bool, now time.Duration) (O
 		f.uncacheable = true
 		reply.StartedCWS = true
 		s.st.CWSEvents++
-		for c := range f.readers {
-			if c != client {
-				reply.DisableOn = append(reply.DisableOn, c)
-			}
-		}
-		for c := range f.writers {
-			if c != client && f.readers[c] == 0 {
-				reply.DisableOn = append(reply.DisableOn, c)
-			}
-		}
-		// Map iteration order is randomized; sort so the flush/disable
-		// sequence — and therefore every downstream counter — is a pure
-		// function of the seed (the repo's bit-for-bit determinism claim).
-		sort.Slice(reply.DisableOn, func(i, j int) bool {
-			return reply.DisableOn[i] < reply.DisableOn[j]
-		})
+		// disableList sorts: map iteration order is randomized, and the
+		// flush/disable sequence — and therefore every downstream counter —
+		// must be a pure function of the seed (the repo's bit-for-bit
+		// determinism claim).
+		reply.DisableOn = f.disableList(client)
 	}
 	if f.uncacheable {
 		reply.Cacheable = false
@@ -293,6 +308,9 @@ func (f *File) addOpen(client int32, write bool) {
 // data for the file at close (it becomes the last writer). In Sprite a
 // file stays uncacheable until it has been closed by all clients.
 func (s *Server) Close(id uint64, client int32, write, dirty bool, now time.Duration) error {
+	if s.down {
+		return ErrDown
+	}
 	f := s.files[id]
 	if f == nil {
 		// The file was deleted while open; Sprite allows this.
@@ -343,6 +361,10 @@ func (s *Server) Write(id uint64, client int32, offset, length int64, through bo
 // caveat). The block lands in the server cache (when storage is attached)
 // and reaches the disk after the server's own 30-second delay.
 func (s *Server) WriteBack(id uint64, client int32, block, bytes int64, now time.Duration) {
+	// Count before the deleted-file early-out: the client counted these
+	// bytes as shipped, and the conservation invariant the fault harness
+	// checks compares exactly these two counters.
+	s.st.WriteBackBytes += bytes
 	f := s.files[id]
 	if f == nil {
 		return

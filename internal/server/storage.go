@@ -31,6 +31,11 @@ type StorageStats struct {
 	DiskReads      int64
 	DiskWrites     int64
 	DiskBusy       time.Duration
+
+	// Crash losses: server-cache bytes that were dirty (not yet synced to
+	// disk) when the server crashed, and the oldest such byte's age.
+	LostDirtyBytes  int64
+	MaxLostDirtyAge time.Duration
 }
 
 // ReadHitPct returns the server cache hit rate for client fetches.
@@ -108,4 +113,21 @@ func (s *Storage) Clean(now time.Duration) time.Duration {
 // delayed-write savings).
 func (s *Storage) Drop(file uint64) {
 	s.cache.Delete(file)
+}
+
+// Crash discards the server cache — it is volatile memory — and records
+// what was lost. Blocks already synced to disk cost only refetches; dirty
+// blocks are gone for good, bounded by the server's own 30-second delay.
+func (s *Storage) Crash(now time.Duration) fscache.CrashLoss {
+	loss := s.cache.DiscardAll(now)
+	s.st.LostDirtyBytes += loss.DirtyBytes
+	if loss.MaxDirtyAge > s.st.MaxLostDirtyAge {
+		s.st.MaxLostDirtyAge = loss.MaxDirtyAge
+	}
+	return loss
+}
+
+// CheckInvariants audits the server cache's internal accounting.
+func (s *Storage) CheckInvariants() error {
+	return s.cache.CheckInvariants()
 }
