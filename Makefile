@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race faults faultsmoke bench experiments section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke bench experiments experiments-diff section4 section5 clean
 
 all: check
 
-# The gate every change must pass: compile, static checks, tests, the
-# race detector over the full module, and the fault-injection suite
-# (twice under race, plus a randomized-schedule smoke with a fixed seed).
-check: build vet test race faults faultsmoke
+# The gate every change must pass: compile, static checks, package-doc
+# and metrics-doc drift gates, tests, the race detector over the full
+# module, and the fault-injection suite (twice under race, plus a
+# randomized-schedule smoke with a fixed seed).
+check: build vet pkgdoc metricscheck test race faults faultsmoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,28 @@ vet:
 	else \
 		echo "shadow: tool not installed, skipping"; \
 	fi
+
+# Every package must carry a package comment (go doc has something to
+# say about every import path in the module).
+pkgdoc:
+	@missing=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...); \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a package comment:"; \
+		echo "$$missing"; \
+		exit 1; \
+	fi; \
+	echo "pkgdoc: every package documented"
+
+# docs/METRICS.md is generated from the metric registry; fail if it has
+# drifted from the code (regenerate with `go run ./cmd/metricsdoc`).
+metricscheck:
+	$(GO) run ./cmd/metricsdoc -check
+
+# Regenerate the generated documentation and vet the hand-written kind:
+# rewrite docs/METRICS.md from the registry, then require every package
+# to carry a package comment.
+docs: pkgdoc
+	$(GO) run ./cmd/metricsdoc
 
 test:
 	$(GO) test ./...
@@ -43,8 +66,15 @@ faultsmoke:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Full-scale regeneration of the paper's evaluation.
-experiments: section4 section5
+# Full-scale regeneration of the paper's evaluation, then a diff against
+# the committed results: determinism means any difference is a real
+# behaviour change, not noise.
+experiments: section4 section5 experiments-diff
+
+experiments-diff:
+	@git --no-pager diff --exit-code results_section4.txt results_section5.txt \
+		&& echo "experiments: results match the committed files" \
+		|| { echo "experiments: results drifted from the committed files (see diff above)"; exit 1; }
 
 section4:
 	$(GO) run ./cmd/experiments -exp section4 -hours 24 | tee results_section4.txt

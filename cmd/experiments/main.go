@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"spritefs/internal/core"
 	"spritefs/internal/stats"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, section4, section5, faults")
+		exp    = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries")
 		traces = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
 		hours  = flag.Float64("hours", 24, "simulated hours per trace")
 		days   = flag.Float64("days", 14, "simulated days for the counter study")
@@ -31,6 +32,9 @@ func main() {
 		seed   = flag.Int64("seed", 0, "seed offset")
 		cdfDir = flag.String("cdfdir", "", "write the Figure 1-4 CDF series as TSV files into this directory")
 		sched  = flag.String("faults", "", "fault schedule for -exp faults (default: one server crash per hour)")
+		tsOut  = flag.String("metrics-out", "", "for -exp timeseries: also write the sampled series to this file ('-' = stdout)")
+		tsFmt  = flag.String("metrics-format", "tsv", "series dump format: tsv | prom | jsonl")
+		tsIntv = flag.Duration("metrics-sample", 10*time.Second, "sampling interval for -exp timeseries")
 	)
 	flag.Parse()
 
@@ -66,6 +70,21 @@ func main() {
 		fmt.Println(core.CounterTables(r))
 	}
 
+	if *exp == "timeseries" {
+		fmt.Fprintf(os.Stderr, "running timeseries study (%.1fh, scale %.2f, sample %v)...\n",
+			*hours, *scale, *tsIntv)
+		r := core.RunTimeseries(core.TimeseriesOptions{
+			Hours: *hours, Scale: *scale, Seed: *seed, Sample: *tsIntv,
+		})
+		fmt.Println(core.TimeseriesTables(r))
+		if *tsOut != "" {
+			if err := dumpSeries(r, *tsOut, *tsFmt); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *exp == "faults" {
 		fmt.Fprintf(os.Stderr, "running fault study (%.1fh per writeback setting, scale %.2f)...\n",
 			*hours, *scale)
@@ -78,6 +97,22 @@ func main() {
 		}
 		fmt.Println(core.FaultTables(r))
 	}
+}
+
+// dumpSeries writes the timeseries study's sampled registry series.
+func dumpSeries(r *core.TimeseriesResult, path, format string) error {
+	if path == "-" {
+		return r.Sampler.Dump(os.Stdout, format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Sampler.Dump(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCDFs dumps the Figure 1-4 cumulative distributions as TSV series,

@@ -1,0 +1,54 @@
+// Command metricsdoc generates docs/METRICS.md from the metric registry:
+// it constructs every subsystem once, collects the families they register
+// (name, kind, unit, labels, help), and renders the reference. Because the
+// document is generated from the same registrations the simulators run
+// with, it cannot describe a counter that does not exist — and -check
+// (wired into `make check`) fails the build when the committed file drifts
+// from the code.
+//
+// Usage:
+//
+//	metricsdoc                     # rewrite docs/METRICS.md
+//	metricsdoc -out -              # print to stdout
+//	metricsdoc -check              # exit 1 if docs/METRICS.md is stale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spritefs/internal/core"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "docs/METRICS.md", "output file ('-' = stdout)")
+		check = flag.Bool("check", false, "verify the file matches the registry instead of writing")
+	)
+	flag.Parse()
+
+	doc := core.MetricsDoc()
+	if *check {
+		have, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricsdoc: %v (run `go run ./cmd/metricsdoc` to generate)\n", err)
+			os.Exit(1)
+		}
+		if string(have) != doc {
+			fmt.Fprintf(os.Stderr, "metricsdoc: %s is stale; run `go run ./cmd/metricsdoc` to regenerate\n", *out)
+			os.Exit(1)
+		}
+		fmt.Printf("metricsdoc: %s is current\n", *out)
+		return
+	}
+	if *out == "-" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdoc: wrote %s\n", *out)
+}

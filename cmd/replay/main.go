@@ -68,6 +68,9 @@ func run(args []string, out io.Writer) error {
 		clientsCSV = fs.String("clients", "", "replay only these client ids (comma-separated)")
 		kindsCSV   = fs.String("kinds", "", "replay only these record kinds (comma-separated names)")
 		faultsSpec = fs.String("faults", "", "fault schedule, e.g. 'server-crash:0@10m/30s,drop@0s/1h/500ms/50'")
+		metricsOut = fs.String("metrics-out", "", "write the final metric registry dump to this file ('-' = stdout); sweeps append .<config> per configuration")
+		metricsFmt = fs.String("metrics-format", "prom", "registry dump format: prom | tsv | jsonl")
+		metricsTS  = fs.Duration("metrics-sample", 0, "also sample the registry as time series at this virtual-clock interval (written as <metrics-out>.series)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +108,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	base.Keep = keep
+	base.MetricsSample = *metricsTS
 	if *faultsSpec != "" {
 		sched, err := faults.Parse(*faultsSpec)
 		if err != nil {
@@ -124,6 +128,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := writeMetrics([]*replay.Result{res}, *metricsOut, *metricsFmt, out); err != nil {
+			return err
+		}
 		return printResults(out, []*replay.Result{res}, *report)
 	}
 
@@ -140,7 +147,70 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := writeMetrics(results, *metricsOut, *metricsFmt, out); err != nil {
+		return err
+	}
 	return printResults(out, results, *report)
+}
+
+// writeMetrics dumps each result's metric registry (and sampled series,
+// when -metrics-sample was set) in the chosen format. A single replay
+// writes to path as-is; sweeps append the configuration name so every
+// configuration's dump lands in its own file.
+func writeMetrics(results []*replay.Result, path, format string, stdout io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	for _, r := range results {
+		target := path
+		if len(results) > 1 {
+			target = path + "." + sanitizeName(r.Config.Name)
+		}
+		dump := func(p string, write func(io.Writer) error) error {
+			if p == "-" {
+				return write(stdout)
+			}
+			f, err := os.Create(p)
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		reg := r.Metrics.Registry()
+		if err := dump(target, func(w io.Writer) error { return reg.Dump(w, format) }); err != nil {
+			return err
+		}
+		if r.Series != nil {
+			st := target + ".series"
+			if target == "-" {
+				st = "-"
+			}
+			if err := dump(st, func(w io.Writer) error { return r.Series.Dump(w, format) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeName makes a sweep configuration name filesystem-safe.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "cfg"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 func splitCSV(s string) []string {

@@ -12,6 +12,7 @@ import (
 
 	"spritefs/internal/client"
 	"spritefs/internal/faults"
+	"spritefs/internal/metrics"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
 	"spritefs/internal/sim"
@@ -56,6 +57,16 @@ type Config struct {
 	// Faults is the fault-injection schedule (crashes, partitions, drop
 	// and delay windows) driven against the run. Empty injects nothing.
 	Faults faults.Schedule
+	// MetricsSample enables the registry time-series sampler at this
+	// interval on the virtual clock; zero disables it. The per-client
+	// counter sampler behind Table 4 (SamplePeriod) is separate.
+	MetricsSample time.Duration
+	// MetricsSampleCap bounds the sampler's ring buffer in sample rows
+	// (oldest rows are overwritten); zero uses the sampler's default.
+	MetricsSampleCap int
+	// MetricsMatch restricts sampling to metric families for which it
+	// returns true; nil samples every non-summary family.
+	MetricsMatch func(name string) bool
 }
 
 // DefaultConfig returns the paper's cluster: 4 servers, 40 clients.
@@ -87,6 +98,12 @@ type Cluster struct {
 	Registry *workload.Registry
 	// Injector drives Cfg.Faults; nil when the schedule is empty.
 	Injector *faults.Injector
+	// Reg is the central metric registry every component registered into
+	// at construction; Report reads its sum-shaped tables from here.
+	Reg *metrics.Registry
+	// MetricSampler holds the time series collected when Cfg.MetricsSample
+	// is set; nil otherwise.
+	MetricSampler *metrics.Sampler
 
 	recs    []trace.Record
 	sink    func(trace.Record)
@@ -164,6 +181,8 @@ func New(cfg Config) *Cluster {
 	if !cfg.Faults.Empty() {
 		c.Injector = faults.Attach(c, cfg.Faults)
 	}
+	c.Reg = metrics.New()
+	RegisterComponents(c.Reg, c.Clients, c.Servers, c.Net, c.Injector)
 	c.Engine = workload.NewEngine(c.Sim, p, c.Registry, hosts)
 	c.Engine.OnMigrate = func(user, pid, from, to int32) {
 		c.Emit(trace.Record{
@@ -244,6 +263,12 @@ func (c *Cluster) Run(duration time.Duration) {
 	}
 	if c.Cfg.SamplePeriod > 0 {
 		c.sampler = c.Sim.Every(c.Cfg.SamplePeriod, c.Cfg.SamplePeriod, c.sample)
+	}
+	if c.Cfg.MetricsSample > 0 {
+		c.MetricSampler = metrics.NewSampler(c.Reg, c.Cfg.MetricsSampleCap, c.Cfg.MetricsMatch)
+		c.tickers = append(c.tickers, c.Sim.Every(c.Cfg.MetricsSample, c.Cfg.MetricsSample, func() {
+			c.MetricSampler.Sample(c.Sim.Now())
+		}))
 	}
 	if c.Cfg.Params.EmitBackupNoise && c.tracing {
 		c.scheduleBackups(duration)

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"spritefs/internal/client"
+	"spritefs/internal/faults"
+	"spritefs/internal/metrics"
+	"spritefs/internal/netsim"
+	"spritefs/internal/server"
+)
+
+// RegisterComponents registers a full component stack into one registry.
+// Both assemblers (the live Cluster and the replay Engine) call this — or,
+// for lazily materialized clients, its per-component pieces — so that any
+// run exposes the identical metric families and Report projections read
+// from one store regardless of who built the components.
+func RegisterComponents(r *metrics.Registry, clients []*client.Client, servers []*server.Server, net *netsim.Network, inj *faults.Injector) {
+	if net != nil {
+		net.RegisterMetrics(r)
+	}
+	for _, s := range servers {
+		s.RegisterMetrics(r)
+	}
+	for _, cl := range clients {
+		cl.RegisterMetrics(r)
+	}
+	if inj != nil {
+		inj.RegisterMetrics(r)
+	}
+}
+
+// Registry returns the central metric registry behind this view. Views
+// built by a Cluster or replay Engine carry the registry those assemblers
+// populated at construction time; a hand-assembled Metrics (tests, ad-hoc
+// tools) gets one built on first use from its component slices.
+func (m *Metrics) Registry() *metrics.Registry {
+	if m.Reg == nil {
+		m.Reg = metrics.New()
+		RegisterComponents(m.Reg, m.Clients, m.Servers, m.Net, nil)
+	}
+	return m.Reg
+}

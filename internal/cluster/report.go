@@ -5,10 +5,10 @@ import (
 
 	"spritefs/internal/client"
 	"spritefs/internal/fscache"
+	"spritefs/internal/metrics"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
 	"spritefs/internal/stats"
-	"spritefs/internal/vm"
 )
 
 // This file computes the Section 5 tables from kernel counters, mirroring
@@ -26,12 +26,16 @@ type Metrics struct {
 	Servers []*server.Server
 	Net     *netsim.Network
 	Samples []Sample
+	// Reg is the central metric registry the components registered into at
+	// construction time. Sum-shaped tables (5, 7, 10, staleness, storage,
+	// recovery) are projections of it — see Registry in metrics.go.
+	Reg *metrics.Registry
 }
 
 // Metrics returns the cluster's counter view, from which every table
 // report is computed.
 func (c *Cluster) Metrics() *Metrics {
-	return &Metrics{Clients: c.Clients, Servers: c.Servers, Net: c.Net, Samples: c.samples}
+	return &Metrics{Clients: c.Clients, Servers: c.Servers, Net: c.Net, Samples: c.samples, Reg: c.Reg}
 }
 
 // Report aggregates every counter-derived table of the Section 5 study in
@@ -174,22 +178,25 @@ type Table5 struct {
 // Table5Report sums the per-client application-level traffic.
 func (c *Cluster) Table5Report() Table5 { return c.Metrics().Table5Report() }
 
-// Table5Report sums the per-client application-level traffic.
+// Table5Report sums the per-client application-level traffic, as a
+// projection of the central registry: the client caches' spritefs_cache
+// families (the server stores' internal caches live under a distinct
+// prefix, so the sums cover exactly the clients), the per-class VM paging
+// counters, and the write-sharing pass-through counters.
 func (m *Metrics) Table5Report() Table5 {
-	var fileRead, fileWrite, pagingCache, backIn, backOut, shR, shW, dirB int64
-	for _, cl := range m.Clients {
-		st := cl.Cache.Stats()
-		fileRead += st.All.BytesRead - st.All.PagingBytesRead
-		fileWrite += st.All.BytesWritten
-		pagingCache += st.All.PagingBytesRead
-		vmst := cl.VM.Stats()
-		backIn += vmst.BytesIn[vm.PageHeap] + vmst.BytesIn[vm.PageStack]
-		backOut += vmst.BytesOut[vm.PageHeap] + vmst.BytesOut[vm.PageStack]
-		r, w, d := cl.SharedBytes()
-		shR += r
-		shW += w
-		dirB += d
-	}
+	r := m.Registry()
+	all := metrics.L("scope", "all")
+	fileRead := r.SumInt("spritefs_cache_read_bytes_total", all) -
+		r.SumInt("spritefs_cache_paging_read_bytes_total", all)
+	fileWrite := r.SumInt("spritefs_cache_write_bytes_total", all)
+	pagingCache := r.SumInt("spritefs_cache_paging_read_bytes_total", all)
+	backIn := r.SumInt("spritefs_vm_paged_in_bytes_total", metrics.L("class", "heap")) +
+		r.SumInt("spritefs_vm_paged_in_bytes_total", metrics.L("class", "stack"))
+	backOut := r.SumInt("spritefs_vm_paged_out_bytes_total", metrics.L("class", "heap")) +
+		r.SumInt("spritefs_vm_paged_out_bytes_total", metrics.L("class", "stack"))
+	shR := r.SumInt("spritefs_client_shared_read_bytes_total")
+	shW := r.SumInt("spritefs_client_shared_write_bytes_total")
+	dirB := r.SumInt("spritefs_client_dir_read_bytes_total")
 	total := fileRead + fileWrite + pagingCache + backIn + backOut + shR + shW + dirB
 	var t Table5
 	t.TotalBytes = total
@@ -303,9 +310,16 @@ type Table7 struct {
 // Table7Report reads the network accounting.
 func (c *Cluster) Table7Report() Table7 { return c.Metrics().Table7Report() }
 
-// Table7Report reads the network accounting.
+// Table7Report reads the network accounting as a projection of the
+// registry's per-class spritefs_net families.
 func (m *Metrics) Table7Report() Table7 {
-	total := m.Net.Total()
+	r := m.Registry()
+	var total netsim.Traffic
+	for cl := netsim.Class(0); cl < netsim.NumClasses; cl++ {
+		sel := metrics.L("class", cl.String())
+		total.Bytes[cl] = r.SumInt("spritefs_net_bytes_total", sel)
+		total.Ops[cl] = r.SumInt("spritefs_net_ops_total", sel)
+	}
 	var t Table7
 	t.TotalBytes = total.TotalBytes()
 	if t.TotalBytes == 0 {
@@ -398,26 +412,17 @@ type ServerStorage struct {
 // ServerStorageReport aggregates server storage counters.
 func (c *Cluster) ServerStorageReport() ServerStorage { return c.Metrics().ServerStorageReport() }
 
-// ServerStorageReport aggregates server storage counters.
+// ServerStorageReport aggregates server storage counters as a projection
+// of the registry's spritefs_server_store families.
 func (m *Metrics) ServerStorageReport() ServerStorage {
-	var blocks, missBlocks, dr, dw int64
-	var busy time.Duration
-	for _, s := range m.Servers {
-		if s.Store == nil {
-			continue
-		}
-		st := s.Store.Stats()
-		blocks += st.ReadBlocks
-		missBlocks += st.ReadMissBlocks
-		dr += st.DiskReads
-		dw += st.DiskWrites
-		busy += st.DiskBusy
-	}
+	r := m.Registry()
+	blocks := r.SumInt("spritefs_server_store_read_blocks_total")
+	missBlocks := r.SumInt("spritefs_server_store_read_miss_blocks_total")
 	return ServerStorage{
 		ReadHitPct: stats.Ratio(blocks-missBlocks, blocks),
-		DiskReads:  dr,
-		DiskWrites: dw,
-		DiskBusy:   busy,
+		DiskReads:  r.SumInt("spritefs_server_store_disk_reads_total"),
+		DiskWrites: r.SumInt("spritefs_server_store_disk_writes_total"),
+		DiskBusy:   r.SumSeconds("spritefs_server_store_disk_busy_seconds"),
 	}
 }
 
@@ -433,16 +438,14 @@ type LiveStale struct {
 // LiveStaleReport sums the clients' stale-read counters.
 func (c *Cluster) LiveStaleReport() LiveStale { return c.Metrics().LiveStaleReport() }
 
-// LiveStaleReport sums the clients' stale-read counters.
+// LiveStaleReport sums the clients' stale-read counters from the registry.
 func (m *Metrics) LiveStaleReport() LiveStale {
-	var t LiveStale
-	for _, cl := range m.Clients {
-		r, b, p := cl.StaleStats()
-		t.StaleReads += r
-		t.StaleBytes += b
-		t.PollRPCs += p
+	r := m.Registry()
+	return LiveStale{
+		StaleReads: r.SumInt("spritefs_client_stale_reads_total"),
+		StaleBytes: r.SumInt("spritefs_client_stale_bytes_total"),
+		PollRPCs:   r.SumInt("spritefs_client_poll_rpcs_total"),
 	}
-	return t
 }
 
 // Recovery summarizes the fault-injection and crash-recovery study: what
@@ -478,43 +481,35 @@ type Recovery struct {
 // RecoveryReport aggregates the crash/recovery counters.
 func (c *Cluster) RecoveryReport() Recovery { return c.Metrics().RecoveryReport() }
 
-// RecoveryReport aggregates the crash/recovery counters.
+// RecoveryReport aggregates the crash/recovery counters as a projection of
+// the registry's client-recovery, server-crash and network-fault families.
 func (m *Metrics) RecoveryReport() Recovery {
-	var t Recovery
-	maxDur := func(dst *time.Duration, v time.Duration) {
-		if v > *dst {
-			*dst = v
-		}
+	r := m.Registry()
+	maxAge := r.MaxSeconds("spritefs_client_max_lost_dirty_age_seconds")
+	if v := r.MaxSeconds("spritefs_server_store_max_lost_dirty_age_seconds"); v > maxAge {
+		maxAge = v
 	}
-	for _, cl := range m.Clients {
-		rs := cl.RecoveryStats()
-		t.ClientCrashes += rs.Crashes
-		t.DirtyBytesLost += rs.LostDirtyBytes
-		maxDur(&t.MaxDirtyAge, rs.MaxLostDirtyAge)
-		t.Recoveries += rs.Recoveries
-		t.ReplayedBytes += rs.ReplayedBytes
-		t.RecoveryRetries += rs.Retries
-		t.GaveUp += rs.GaveUp
+	return Recovery{
+		ServerCrashes:    r.SumInt("spritefs_server_crashes_total"),
+		ClientCrashes:    r.SumInt("spritefs_client_crashes_total"),
+		OpensLostInCrash: r.SumInt("spritefs_server_opens_lost_in_crash_total"),
+		DirtyBytesLost: r.SumInt("spritefs_client_lost_dirty_bytes_total") +
+			r.SumInt("spritefs_server_store_lost_dirty_bytes_total"),
+		MaxDirtyAge: maxAge,
+
+		Recoveries:             r.SumInt("spritefs_client_recoveries_total"),
+		RecoveryOpens:          r.SumInt("spritefs_server_recovery_opens_total"),
+		RecoveryCWS:            r.SumInt("spritefs_server_recovery_cws_total"),
+		ReplayedBytes:          r.SumInt("spritefs_client_replayed_bytes_total"),
+		RecoveryRetries:        r.SumInt("spritefs_client_recovery_retries_total"),
+		GaveUp:                 r.SumInt("spritefs_client_recovery_gave_up_total"),
+		MaxTimeToReconsistency: r.MaxSeconds("spritefs_server_max_recovery_seconds"),
+
+		DroppedOps:  r.SumInt("spritefs_net_fault_dropped_ops_total"),
+		Retransmits: r.SumInt("spritefs_net_fault_retransmits_total"),
+		StalledOps:  r.SumInt("spritefs_net_fault_stalled_ops_total"),
+		StallTime:   r.SumSeconds("spritefs_net_fault_stall_seconds"),
 	}
-	for _, s := range m.Servers {
-		st := s.Stats()
-		t.ServerCrashes += st.Crashes
-		t.OpensLostInCrash += st.OpensLostInCrash
-		t.RecoveryOpens += st.RecoveryOpens
-		t.RecoveryCWS += st.RecoveryCWS
-		maxDur(&t.MaxTimeToReconsistency, st.MaxRecoveryTime)
-		if s.Store != nil {
-			ss := s.Store.Stats()
-			t.DirtyBytesLost += ss.LostDirtyBytes
-			maxDur(&t.MaxDirtyAge, ss.MaxLostDirtyAge)
-		}
-	}
-	fs := m.Net.FaultStats()
-	t.DroppedOps = fs.DroppedOps
-	t.Retransmits = fs.Retransmit
-	t.StalledOps = fs.StalledOps
-	t.StallTime = fs.StallTime
-	return t
 }
 
 // Table10 is consistency action frequency, from the servers' counters.
@@ -527,15 +522,12 @@ type Table10 struct {
 // Table10Report sums the servers' consistency counters.
 func (c *Cluster) Table10Report() Table10 { return c.Metrics().Table10Report() }
 
-// Table10Report sums the servers' consistency counters.
+// Table10Report sums the servers' consistency counters from the registry.
 func (m *Metrics) Table10Report() Table10 {
-	var opens, cws, recalls int64
-	for _, s := range m.Servers {
-		st := s.Stats()
-		opens += st.FileOpens
-		cws += st.CWSEvents
-		recalls += st.Recalls
-	}
+	r := m.Registry()
+	opens := r.SumInt("spritefs_server_file_opens_total")
+	cws := r.SumInt("spritefs_server_cws_events_total")
+	recalls := r.SumInt("spritefs_server_recalls_total")
 	return Table10{
 		CWSPct:    stats.Ratio(cws, opens),
 		RecallPct: stats.Ratio(recalls, opens),

@@ -1,9 +1,3 @@
-// Package consistency implements the paper's two trace-driven consistency
-// studies: the Section 5.5 stale-data simulator, which estimates how many
-// errors a weaker, NFS-style polling scheme would have produced (Table 11),
-// and the Section 5.6 overhead simulator, which compares Sprite's
-// disable-caching scheme with a modified variant and a token-based scheme
-// on the write-shared portion of the traces (Table 12).
 package consistency
 
 import (

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTimeseriesDeterministic: the same seed yields byte-identical sampled
+// series in every export format — the acceptance criterion that identical
+// seeds produce identical metric dumps.
+func TestTimeseriesDeterministic(t *testing.T) {
+	run := func() (string, *TimeseriesResult) {
+		r := RunTimeseries(TimeseriesOptions{Hours: 0.5, Scale: 0.2})
+		var b strings.Builder
+		for _, format := range []string{"prom", "tsv", "jsonl"} {
+			if err := r.Sampler.Dump(&b, format); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String(), r
+	}
+	a, ra := run()
+	b, _ := run()
+	if a == "" {
+		t.Fatal("empty series dump")
+	}
+	if a != b {
+		t.Fatal("timeseries dumps differ across identical runs")
+	}
+	if ra.Sampler.Len() == 0 {
+		t.Fatal("sampler retained no rows")
+	}
+	if ra.Short.Intervals <= ra.Long.Intervals {
+		t.Fatalf("short windows (%d) not finer than long (%d)",
+			ra.Short.Intervals, ra.Long.Intervals)
+	}
+}
+
+// TestTimeseriesContrast pins the Table 2 phenomenon on a run long enough
+// to carry real traffic: averaged over 10-minute windows and 10-second
+// windows the series agrees on total volume, but the 10-second peak is
+// strictly burstier than the 10-minute peak.
+func TestTimeseriesContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour simulated run")
+	}
+	r := RunTimeseries(TimeseriesOptions{Hours: 2, Scale: 0.5})
+	if r.Short.PeakKBs <= 0 || r.Long.PeakKBs <= 0 {
+		t.Fatalf("no traffic sampled: short peak %.2f, long peak %.2f",
+			r.Short.PeakKBs, r.Long.PeakKBs)
+	}
+	if r.Short.PeakKBs < r.Long.PeakKBs {
+		t.Fatalf("10s peak (%.1f KB/s) below 10m peak (%.1f KB/s): burstiness lost",
+			r.Short.PeakKBs, r.Long.PeakKBs)
+	}
+	out := TimeseriesTables(r)
+	if !strings.Contains(out, "Table 2 contrast") {
+		t.Fatalf("unexpected table rendering:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

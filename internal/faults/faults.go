@@ -1,11 +1,3 @@
-// Package faults is the deterministic fault-injection subsystem: seedable
-// schedules of server crashes, workstation crashes, network partitions,
-// drop windows and delay windows, driven entirely by the simulation clock
-// so that a faulted run is exactly as reproducible as a healthy one. The
-// paper's system survived real server crashes with "at most 30 seconds" of
-// lost work and no user-visible inconsistency; this package exists to make
-// those claims testable — the invariant harness in faults/check replays
-// randomized schedules against a live cluster and audits what survives.
 package faults
 
 import (

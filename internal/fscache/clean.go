@@ -1,6 +1,9 @@
 package fscache
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // WritebackDelay is Sprite's delayed-write interval: dirty data is written
 // to the server once it has been dirty for 30 seconds.
@@ -36,7 +39,8 @@ func (c *Cache) WriteDelay() time.Duration {
 func (c *Cache) Clean(now time.Duration) []Writeback {
 	var out []Writeback
 	delay := c.WriteDelay()
-	for _, fb := range c.files {
+	for _, file := range c.sortedFiles() {
+		fb := c.files[file]
 		expired := false
 		for _, b := range fb {
 			if b.dirty && now-b.dirtyAt >= delay {
@@ -47,13 +51,35 @@ func (c *Cache) Clean(now time.Duration) []Writeback {
 		if !expired {
 			continue
 		}
-		for _, b := range fb {
+		for _, b := range sortedBlocks(fb) {
 			if b.dirty {
 				out = append(out, c.cleanBlock(b, CleanDelay, now))
 			}
 		}
 	}
 	return out
+}
+
+// sortedFiles returns the resident file IDs in ascending order. Cleaning
+// scans must not follow map iteration order: the age summaries accumulate
+// floating-point samples whose sum depends on ordering, and metric dumps
+// are required to be byte-identical across runs.
+func (c *Cache) sortedFiles() []uint64 {
+	ids := make([]uint64, 0, len(c.files))
+	for id := range c.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedBlocks(fb fileBlocks) []*block {
+	bs := make([]*block, 0, len(fb))
+	for _, b := range fb {
+		bs = append(bs, b)
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].index < bs[j].index })
+	return bs
 }
 
 func (c *Cache) cleanBlock(b *block, reason CleanReason, now time.Duration) Writeback {
@@ -79,7 +105,7 @@ func (c *Cache) Recall(file uint64, now time.Duration) []Writeback {
 
 func (c *Cache) flushFile(file uint64, reason CleanReason, now time.Duration) []Writeback {
 	var out []Writeback
-	for _, b := range c.files[file] {
+	for _, b := range sortedBlocks(c.files[file]) {
 		if b.dirty {
 			out = append(out, c.cleanBlock(b, reason, now))
 		}

@@ -1,0 +1,13 @@
+// Package fscache implements the Sprite client file cache measured in
+// Section 5 of the paper: a block-oriented (4 KB) main-memory cache with
+// LRU replacement, a 30-second delayed-write policy enforced by a 5-second
+// cleaner daemon, write fetches for partial writes of non-resident blocks,
+// fsync write-through, dirty-data recall for cache consistency, and a
+// dynamically adjustable size negotiated with the virtual memory system.
+//
+// The cache is passive with respect to I/O: operations return descriptions
+// of the server transfers they imply (miss bytes to fetch, dirty blocks to
+// write back) and the caller — internal/client — performs the RPCs on the
+// simulated network. Every counter the paper's Tables 4, 6, 8 and 9 need
+// is maintained here.
+package fscache

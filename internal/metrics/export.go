@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a float deterministically: the shortest decimal that
+// round-trips, so identical values produce identical bytes everywhere.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the current snapshot in the Prometheus text
+// exposition format: one # HELP / # TYPE pair per family followed by its
+// instances sorted by labels. Summaries render as untyped expanded points
+// (the _count/_sum/... suffixes carry the distribution).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFam string
+	for _, p := range r.Snapshot() {
+		fam := familyOf(p)
+		if fam.name != lastFam {
+			lastFam = fam.name
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				fam.name, fam.help, fam.name, fam.promType); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, p.Labels, p.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// famMeta is the per-family header a Prometheus dump needs, recovered from
+// a point (summaries expand to suffixed names that share a family).
+type famMeta struct{ name, help, promType string }
+
+var summarySuffixes = []string{"_count", "_sum", "_mean", "_stddev", "_min", "_max"}
+
+func familyOf(p Point) famMeta {
+	name := p.Name
+	if p.Kind == Summary {
+		for _, s := range summarySuffixes {
+			if strings.HasSuffix(name, s) {
+				name = strings.TrimSuffix(name, s)
+				break
+			}
+		}
+		return famMeta{name: name, help: "(summary; see docs/METRICS.md)", promType: "untyped"}
+	}
+	t := "gauge"
+	if p.Kind == Counter {
+		t = "counter"
+	}
+	return famMeta{name: name, help: "(unit: " + p.Unit + "; see docs/METRICS.md)", promType: t}
+}
+
+// WriteTSV renders the snapshot as one "name labels unit value" row per
+// point, tab-separated with a header line. Empty label sets render as "-".
+func (r *Registry) WriteTSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "metric\tlabels\tunit\tvalue\n"); err != nil {
+		return err
+	}
+	for _, p := range r.Snapshot() {
+		labels := p.Labels
+		if labels == "" {
+			labels = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", p.Name, labels, p.Unit, p.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the snapshot as one JSON object per line. The JSON is
+// hand-assembled so integer counters stay exact and key order is fixed.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	for _, p := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "{\"name\":%q,\"labels\":%q,\"unit\":%q,\"value\":%s}\n",
+			p.Name, p.Labels, p.Unit, p.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump renders the snapshot in the named format: "prom", "tsv" or "jsonl".
+func (r *Registry) Dump(w io.Writer, format string) error {
+	switch format {
+	case "prom", "prometheus":
+		return r.WritePrometheus(w)
+	case "tsv":
+		return r.WriteTSV(w)
+	case "jsonl", "json":
+		return r.WriteJSONL(w)
+	default:
+		return fmt.Errorf("metrics: unknown dump format %q (prom, tsv, jsonl)", format)
+	}
+}

@@ -1,0 +1,368 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spritefs/internal/stats"
+)
+
+// Kind classifies a metric family.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// Counter is a monotonically non-decreasing count (ops, bytes).
+	Counter Kind = iota
+	// Gauge is an instantaneous value that may go up and down (cache
+	// size) or a running maximum (worst dirty age).
+	Gauge
+	// Summary is a streaming distribution (count/sum/mean/stddev/min/max),
+	// backed by a stats.Welford accumulator.
+	Summary
+)
+
+var kindNames = [...]string{"counter", "gauge", "summary"}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Label is one key="value" pair attached to a metric instance.
+type Label struct{ Key, Value string }
+
+// Labels is an ordered label set. Order is preserved in rendered output,
+// so register instances of one family with the same key order.
+type Labels []Label
+
+// L is the Label constructor: L("client", "7").
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// String renders the set as {k="v",...}, or "" when empty.
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Desc is a metric family's self-description: everything docs/METRICS.md
+// needs to document it and everything an export needs to render it.
+type Desc struct {
+	// Name is the full metric name, e.g. "spritefs_cache_read_ops_total".
+	// Counter names end in _total by convention.
+	Name string
+	// Unit is the value's unit: "ops", "bytes", "blocks", "seconds", ...
+	Unit string
+	// Help is the one-line human description emitted as # HELP and into
+	// the generated documentation.
+	Help string
+	// Kind is the family's metric kind.
+	Kind Kind
+}
+
+// metric is one registered instance: a family member with a concrete
+// label set and a read-at-snapshot-time view over the owner's counter.
+type metric struct {
+	labels Labels
+	key    string // rendered labels, the within-family identity
+
+	// Exactly one of the three is set, fixing the instance's value type.
+	intFn func() int64
+	durFn func() time.Duration
+	sumFn func() stats.Welford
+	// scale multiplies summary sample values at export (e.g. 1e-9 for
+	// Welford accumulators that collected nanoseconds but export seconds).
+	scale float64
+}
+
+// Family is one named metric with all its registered instances.
+type Family struct {
+	Desc      Desc
+	instances []*metric
+}
+
+// Instances returns the number of registered instances.
+func (f *Family) Instances() int { return len(f.instances) }
+
+// LabelKeys returns the label key sets in use by the family's instances,
+// deduplicated and sorted (normally a single entry, e.g. "client,scope").
+func (f *Family) LabelKeys() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range f.instances {
+		keys := make([]string, len(m.labels))
+		for i, l := range m.labels {
+			keys[i] = l.Key
+		}
+		k := strings.Join(keys, ",")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry is the central metric store. It is not safe for concurrent
+// mutation; the simulators are single-threaded per run, and sweep workers
+// each own a private registry (which is what keeps dumps worker-count
+// invariant).
+type Registry struct {
+	fams   []*Family
+	byName map[string]*Family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*Family)}
+}
+
+// family fetches or creates the named family, enforcing that every
+// registration of the same name agrees on unit, help and kind — the
+// property that makes the generated documentation trustworthy.
+func (r *Registry) family(d Desc) *Family {
+	if d.Name == "" {
+		panic("metrics: empty metric name")
+	}
+	if f := r.byName[d.Name]; f != nil {
+		if f.Desc != d {
+			panic(fmt.Sprintf("metrics: %s re-registered with conflicting description (%+v vs %+v)",
+				d.Name, f.Desc, d))
+		}
+		return f
+	}
+	f := &Family{Desc: d}
+	r.fams = append(r.fams, f)
+	r.byName[d.Name] = f
+	return f
+}
+
+func (r *Registry) add(d Desc, ls Labels, m *metric) {
+	f := r.family(d)
+	m.labels = ls
+	m.key = ls.String()
+	for _, prev := range f.instances {
+		if prev.key == m.key {
+			panic(fmt.Sprintf("metrics: duplicate instance %s%s", d.Name, m.key))
+		}
+	}
+	f.instances = append(f.instances, m)
+}
+
+// Int registers an integer-valued instance (counter or gauge) whose value
+// is read from fn at snapshot time.
+func (r *Registry) Int(d Desc, ls Labels, fn func() int64) {
+	if d.Kind == Summary {
+		panic("metrics: Int registration with Summary kind")
+	}
+	r.add(d, ls, &metric{intFn: fn})
+}
+
+// Seconds registers a duration-valued instance exported in seconds. The
+// raw nanosecond integer is preserved internally, so sums and maxima over
+// instances stay exact.
+func (r *Registry) Seconds(d Desc, ls Labels, fn func() time.Duration) {
+	if d.Kind == Summary {
+		panic("metrics: Seconds registration with Summary kind")
+	}
+	if d.Unit == "" {
+		d.Unit = "seconds"
+	}
+	r.add(d, ls, &metric{durFn: fn})
+}
+
+// Hist registers a distribution instance backed by a stats.Welford
+// accumulator; exports expand it into _count/_sum/_mean/_stddev/_min/_max.
+func (r *Registry) Hist(d Desc, ls Labels, fn func() stats.Welford) {
+	d.Kind = Summary
+	r.add(d, ls, &metric{sumFn: fn, scale: 1})
+}
+
+// HistSeconds registers a distribution whose Welford accumulator collected
+// nanosecond samples (the simulators store time.Duration as float64);
+// exported values are scaled to seconds.
+func (r *Registry) HistSeconds(d Desc, ls Labels, fn func() stats.Welford) {
+	d.Kind = Summary
+	if d.Unit == "" {
+		d.Unit = "seconds"
+	}
+	r.add(d, ls, &metric{sumFn: fn, scale: 1e-9})
+}
+
+// Families returns every family sorted by name (the documentation and
+// export order).
+func (r *Registry) Families() []*Family {
+	out := make([]*Family, len(r.fams))
+	copy(out, r.fams)
+	sort.Slice(out, func(i, j int) bool { return out[i].Desc.Name < out[j].Desc.Name })
+	return out
+}
+
+// Len returns the number of registered instances across all families.
+func (r *Registry) Len() int {
+	n := 0
+	for _, f := range r.fams {
+		n += len(f.instances)
+	}
+	return n
+}
+
+// matches reports whether the instance carries every selector pair.
+func (m *metric) matches(sel []Label) bool {
+	for _, s := range sel {
+		found := false
+		for _, l := range m.labels {
+			if l.Key == s.Key && l.Value == s.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SumInt sums the named family's integer instances matching every selector
+// label. Summing raw int64 values keeps registry projections bit-exact
+// with direct counter loops, which is what lets the report tables read
+// through the registry without perturbing golden outputs. Missing families
+// sum to zero (a subsystem that never constructed is a subsystem with all
+// counters at zero).
+func (r *Registry) SumInt(name string, sel ...Label) int64 {
+	f := r.byName[name]
+	if f == nil {
+		return 0
+	}
+	var sum int64
+	for _, m := range f.instances {
+		if m.intFn == nil || !m.matches(sel) {
+			continue
+		}
+		sum += m.intFn()
+	}
+	return sum
+}
+
+// SumSeconds sums a duration family's instances matching the selectors.
+func (r *Registry) SumSeconds(name string, sel ...Label) time.Duration {
+	f := r.byName[name]
+	if f == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, m := range f.instances {
+		if m.durFn == nil || !m.matches(sel) {
+			continue
+		}
+		sum += m.durFn()
+	}
+	return sum
+}
+
+// MaxSeconds returns the maximum over a duration family's matching
+// instances (zero when none match).
+func (r *Registry) MaxSeconds(name string, sel ...Label) time.Duration {
+	f := r.byName[name]
+	if f == nil {
+		return 0
+	}
+	var max time.Duration
+	for _, m := range f.instances {
+		if m.durFn == nil || !m.matches(sel) {
+			continue
+		}
+		if v := m.durFn(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Point is one exported value: a flat (name, labels, value) triple with
+// summary instances already expanded into suffixed points.
+type Point struct {
+	Name   string
+	Labels string
+	Unit   string
+	Kind   Kind
+	// IsInt selects which of Int/Float carries the value. Integer points
+	// print without a decimal point, keeping counter dumps exact.
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+// Value renders the point's value deterministically.
+func (p Point) Value() string {
+	if p.IsInt {
+		return fmt.Sprintf("%d", p.Int)
+	}
+	return formatFloat(p.Float)
+}
+
+// Snapshot reads every instance now and returns the flat point list,
+// sorted by (name, labels) — summaries expanded, durations in seconds.
+func (r *Registry) Snapshot() []Point {
+	var out []Point
+	for _, f := range r.Families() {
+		insts := make([]*metric, len(f.instances))
+		copy(insts, f.instances)
+		sort.Slice(insts, func(i, j int) bool { return insts[i].key < insts[j].key })
+		for _, m := range insts {
+			out = append(out, m.points(f.Desc)...)
+		}
+	}
+	return out
+}
+
+// points expands one instance into its exported points.
+func (m *metric) points(d Desc) []Point {
+	base := Point{Name: d.Name, Labels: m.key, Unit: d.Unit, Kind: d.Kind}
+	switch {
+	case m.intFn != nil:
+		base.IsInt = true
+		base.Int = m.intFn()
+		return []Point{base}
+	case m.durFn != nil:
+		base.Float = m.durFn().Seconds()
+		return []Point{base}
+	default:
+		w := m.sumFn()
+		mk := func(suffix, unit string, isInt bool, iv int64, fv float64) Point {
+			return Point{Name: d.Name + suffix, Labels: m.key, Unit: unit, Kind: d.Kind,
+				IsInt: isInt, Int: iv, Float: fv}
+		}
+		s := m.scale
+		pts := []Point{
+			mk("_count", "samples", true, w.N(), 0),
+			mk("_sum", d.Unit, false, 0, w.Sum()*s),
+			mk("_mean", d.Unit, false, 0, w.Mean()*s),
+			mk("_stddev", d.Unit, false, 0, w.Stddev()*s),
+		}
+		if w.N() > 0 {
+			pts = append(pts,
+				mk("_min", d.Unit, false, 0, w.Min()*s),
+				mk("_max", d.Unit, false, 0, w.Max()*s))
+		}
+		return pts
+	}
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerSeriesAndRing(t *testing.T) {
+	r := New()
+	var v int64
+	r.Int(Desc{Name: "n_total", Unit: "ops", Help: "n", Kind: Counter},
+		Labels{L("client", "0")}, func() int64 { return v })
+	s := NewSampler(r, 3, nil)
+	for i := 1; i <= 5; i++ {
+		v = int64(i * 10)
+		s.Sample(time.Duration(i) * time.Second)
+	}
+	if s.Len() != 3 || s.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", s.Len(), s.Dropped())
+	}
+	ser := s.Get("n_total", `{client="0"}`)
+	if len(ser.Values) != 3 || ser.Values[0] != 30 || ser.Values[2] != 50 {
+		t.Fatalf("ring series = %+v", ser.Values)
+	}
+	if ser.Times[0] != 3*time.Second {
+		t.Fatalf("oldest retained time = %v, want 3s", ser.Times[0])
+	}
+}
+
+func TestSamplerLateColumns(t *testing.T) {
+	r := New()
+	d := Desc{Name: "m_total", Unit: "ops", Help: "m", Kind: Counter}
+	r.Int(d, Labels{L("i", "0")}, func() int64 { return 1 })
+	s := NewSampler(r, 0, nil)
+	s.Sample(time.Second)
+	// A second instance appears after the first sample (replay clients
+	// materialize lazily); earlier rows must read as missing, not zero.
+	r.Int(d, Labels{L("i", "1")}, func() int64 { return 2 })
+	s.Sample(2 * time.Second)
+
+	late := s.Get("m_total", `{i="1"}`)
+	if !isNaN(late.Values[0]) || late.Values[1] != 2 {
+		t.Fatalf("late column values = %v", late.Values)
+	}
+	var b strings.Builder
+	if err := s.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tsv lines = %d:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[1], "\t-") {
+		t.Fatalf("missing value not rendered as '-': %q", lines[1])
+	}
+}
+
+func TestSamplerMatchFilterAndDeterminism(t *testing.T) {
+	build := func() string {
+		r := New()
+		r.Int(Desc{Name: "keep_total", Unit: "ops", Help: "k", Kind: Counter}, nil, func() int64 { return 7 })
+		r.Int(Desc{Name: "drop_total", Unit: "ops", Help: "d", Kind: Counter}, nil, func() int64 { return 9 })
+		s := NewSampler(r, 0, func(name string) bool { return name == "keep_total" })
+		s.Sample(time.Second)
+		s.Sample(2 * time.Second)
+		var b strings.Builder
+		if err := s.WriteTSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := build()
+	if strings.Contains(out, "drop_total") {
+		t.Fatalf("filtered metric leaked into series:\n%s", out)
+	}
+	if out != build() {
+		t.Fatal("sampler TSV not deterministic")
+	}
+}

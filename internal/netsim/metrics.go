@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"time"
+
+	"spritefs/internal/metrics"
+)
+
+// RegisterMetrics registers the wire's byte/op accounting (the Table 5 and
+// Table 7 instrumentation) and the fault-hook perturbation counters into
+// the central registry. One Network serves the whole cluster, so these
+// families are registered once per run, with a class label per traffic
+// category.
+func (n *Network) RegisterMetrics(r *metrics.Registry) {
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		ls := metrics.Labels{metrics.L("class", c.String())}
+		r.Int(metrics.Desc{Name: "spritefs_net_bytes_total", Unit: "bytes",
+			Help: "Bytes crossing the wire, by traffic class (Table 7's breakdown).",
+			Kind: metrics.Counter},
+			ls, func() int64 { return n.total.Bytes[c] })
+		r.Int(metrics.Desc{Name: "spritefs_net_ops_total", Unit: "ops",
+			Help: "RPCs issued, by traffic class.",
+			Kind: metrics.Counter},
+			ls, func() int64 { return n.total.Ops[c] })
+	}
+	r.Seconds(metrics.Desc{Name: "spritefs_net_busy_seconds",
+		Help: "Cumulative wire-busy time; divided by elapsed virtual time it gives the paper's ~4% Ethernet utilization check.",
+		Kind: metrics.Counter},
+		nil, func() time.Duration { return n.busy })
+
+	fctr := func(name, help string, v *int64) {
+		r.Int(metrics.Desc{Name: name, Unit: "ops", Help: help, Kind: metrics.Counter},
+			nil, func() int64 { return *v })
+	}
+	fctr("spritefs_net_fault_dropped_ops_total",
+		"RPCs that lost at least one packet to an injected drop window or partition.", &n.faults.DroppedOps)
+	fctr("spritefs_net_fault_retransmits_total",
+		"Total packet retransmissions forced by injected faults.", &n.faults.Retransmit)
+	fctr("spritefs_net_fault_stalled_ops_total",
+		"RPCs that incurred fault-induced extra delay.", &n.faults.StalledOps)
+	r.Seconds(metrics.Desc{Name: "spritefs_net_fault_stall_seconds",
+		Help: "Total extra latency added by injected faults (partition waits, retransmission timeouts, delay windows).",
+		Kind: metrics.Counter},
+		nil, func() time.Duration { return n.faults.StallTime })
+}

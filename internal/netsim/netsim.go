@@ -1,11 +1,3 @@
-// Package netsim models the cluster interconnect of the measured system: a
-// shared 10 Mbit/s Ethernet carrying RPCs between diskless clients and the
-// file servers. The model is analytic — an RPC costs a fixed base latency
-// plus payload time at the wire bandwidth — because the paper reports the
-// network was far from saturation (40 workstations generate ~4% of Ethernet
-// bandwidth in paging traffic). What matters for the tables is the byte
-// accounting: every byte crossing the wire is attributed to a traffic class
-// and a client, which is exactly the instrumentation behind Tables 5 and 7.
 package netsim
 
 import (

@@ -33,6 +33,7 @@ import (
 	"spritefs/internal/cluster"
 	"spritefs/internal/faults"
 	"spritefs/internal/fscache"
+	"spritefs/internal/metrics"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
 	"spritefs/internal/sim"
@@ -89,6 +90,15 @@ type Config struct {
 	// the replay on the virtual clock — replaying the same trace with and
 	// without a mid-run server crash isolates exactly what the fault cost.
 	Faults faults.Schedule
+	// MetricsSample enables the registry time-series sampler at this
+	// interval on the virtual clock (zero disables); the collected series
+	// are on Engine.MetricSampler after Run.
+	MetricsSample time.Duration
+	// MetricsSampleCap bounds the sampler ring in rows; zero = default.
+	MetricsSampleCap int
+	// MetricsMatch restricts sampling to families for which it returns
+	// true; nil samples every non-summary family.
+	MetricsMatch func(name string) bool
 }
 
 // Stats counts what the engine did with the stream.
@@ -113,6 +123,13 @@ type Result struct {
 	Faults  faults.Stats  // what the schedule injected (zero when empty)
 	Horizon time.Duration // virtual time of the last applied record
 	End     time.Duration // virtual time after the drain
+	// Metrics is the counter view (with its central registry) the report
+	// was computed from; Metrics.Registry().Dump exports every counter,
+	// and Series carries the time series when Config.MetricsSample is set.
+	Metrics *cluster.Metrics
+	// Series is the ring-buffered time-series sampler, nil unless
+	// Config.MetricsSample was set.
+	Series *metrics.Sampler
 }
 
 // liveHandle maps a trace open-instance to the replayed client handle.
@@ -133,6 +150,13 @@ type Engine struct {
 
 	// Injector drives cfg.Faults; nil when the schedule is empty.
 	Injector *faults.Injector
+
+	// Reg is the central metric registry; servers and the network register
+	// at construction, clients as they materialize.
+	Reg *metrics.Registry
+	// MetricSampler holds the time series collected when
+	// Config.MetricsSample is set; nil otherwise.
+	MetricSampler *metrics.Sampler
 
 	samples []cluster.Sample
 	lastOps map[int32]int64
@@ -175,7 +199,38 @@ func New(cfg Config) *Engine {
 	if !cfg.Faults.Empty() {
 		e.Injector = faults.Attach(e, cfg.Faults)
 	}
+	e.Reg = metrics.New()
+	cluster.RegisterComponents(e.Reg, nil, e.Servers, e.Net, e.Injector)
+	e.registerMetrics(e.Reg)
 	return e
+}
+
+// registerMetrics registers the engine's own stream bookkeeping, so a
+// metrics dump states what the replay did with the trace alongside what
+// the components did with the replayed operations.
+func (e *Engine) registerMetrics(r *metrics.Registry) {
+	ctr := func(name, unit, help string, v *int64) {
+		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
+			nil, func() int64 { return *v })
+	}
+	ctr("spritefs_replay_records_read_total", "records",
+		"Records pulled from the trace stream.", &e.stats.Read)
+	ctr("spritefs_replay_records_applied_total", "records",
+		"Records re-executed against the replayed cluster.", &e.stats.Applied)
+	ctr("spritefs_replay_records_filtered_total", "records",
+		"Records dropped by the configured Keep filter.", &e.stats.Filtered)
+	ctr("spritefs_replay_records_scrubbed_total", "records",
+		"Self-trace or clientless records scrubbed, as the paper's merge step scrubbed backup noise.", &e.stats.Scrubbed)
+	ctr("spritefs_replay_unknown_handle_total", "records",
+		"Operations referencing a handle whose open was never replayed.", &e.stats.UnknownHandle)
+	ctr("spritefs_replay_errors_total", "records",
+		"Open/close errors tolerated and skipped.", &e.stats.Errors)
+	ctr("spritefs_replay_bootstrapped_files_total", "files",
+		"Files materialized on first reference — the source run's pre-existing population.", &e.stats.Bootstrapped)
+	ctr("spritefs_replay_creates_total", "records",
+		"File creations replayed.", &e.stats.Creates)
+	ctr("spritefs_replay_migrations_total", "records",
+		"Process-migration markers seen (no file-system effect).", &e.stats.Migrations)
 }
 
 // Clock implements faults.System.
@@ -233,6 +288,7 @@ func (e *Engine) clientFor(id int32) *client.Client {
 		cl.Cache.SetPrefetch(e.cfg.PrefetchBlocks)
 	}
 	cl.StartCleaner()
+	cl.RegisterMetrics(e.Reg)
 	e.clients[id] = cl
 	return cl
 }
@@ -272,7 +328,7 @@ func (e *Engine) Metrics() *cluster.Metrics {
 	for _, id := range ids {
 		cls = append(cls, e.clients[id])
 	}
-	return &cluster.Metrics{Clients: cls, Servers: e.Servers, Net: e.Net, Samples: e.samples}
+	return &cluster.Metrics{Clients: cls, Servers: e.Servers, Net: e.Net, Samples: e.samples, Reg: e.Reg}
 }
 
 // sample records each client's cache size, as the live counter sampler does.
@@ -319,6 +375,12 @@ func (e *Engine) Run(s trace.Stream) (*Result, error) {
 	}
 	if e.cfg.SamplePeriod > 0 {
 		e.tickers = append(e.tickers, e.Sim.Every(e.cfg.SamplePeriod, e.cfg.SamplePeriod, e.sample))
+	}
+	if e.cfg.MetricsSample > 0 {
+		e.MetricSampler = metrics.NewSampler(e.Reg, e.cfg.MetricsSampleCap, e.cfg.MetricsMatch)
+		e.tickers = append(e.tickers, e.Sim.Every(e.cfg.MetricsSample, e.cfg.MetricsSample, func() {
+			e.MetricSampler.Sample(e.Sim.Now())
+		}))
 	}
 
 	for {
@@ -367,12 +429,15 @@ func (e *Engine) Run(s trace.Stream) (*Result, error) {
 		tk.Stop()
 	}
 
+	m := e.Metrics()
 	res := &Result{
 		Config:  e.cfg,
 		Stats:   e.stats,
-		Report:  e.Metrics().Report(),
+		Report:  m.Report(),
 		Horizon: horizon,
 		End:     e.Sim.Now(),
+		Metrics: m,
+		Series:  e.MetricSampler,
 	}
 	if e.Injector != nil {
 		res.Faults = e.Injector.Stats()

@@ -1,0 +1,11 @@
+// Package vm models the Sprite client virtual memory system as it matters
+// to the file-system study (Section 5.3 of the paper): physical memory is
+// traded between the VM system and the file cache, with VM receiving
+// preference — a VM page cannot be converted to a file-cache page unless it
+// has been unreferenced for at least twenty minutes. Paging traffic is
+// divided into the paper's four page classes (code, initialized data,
+// modified data, stack); code and initialized-data faults are serviced
+// through the file cache, while backing-file traffic bypasses client
+// caching entirely ("pages of backing files are never present in the file
+// caches of clients").
+package vm

@@ -1,0 +1,32 @@
+package vm
+
+import "spritefs/internal/metrics"
+
+// RegisterMetrics registers the VM system's paging counters into the
+// central registry. Per-class byte counters carry a class label
+// (code/init-data/heap/stack) and a direction in the name, feeding the
+// paging rows of Tables 5 and 7.
+func (s *System) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
+	for c := PageClass(0); c < NumPageClasses; c++ {
+		c := c
+		cls := append(append(metrics.Labels{}, ls...), metrics.L("class", c.String()))
+		r.Int(metrics.Desc{Name: "spritefs_vm_paged_in_bytes_total", Unit: "bytes",
+			Help: "Bytes paged in, by page class: code and init-data arrive through the file cache, heap and stack from backing files (Table 5 paging rows).",
+			Kind: metrics.Counter},
+			cls, func() int64 { return s.st.BytesIn[c] })
+		r.Int(metrics.Desc{Name: "spritefs_vm_paged_out_bytes_total", Unit: "bytes",
+			Help: "Bytes paged out to backing files, by page class (Table 5 backing-write row).",
+			Kind: metrics.Counter},
+			cls, func() int64 { return s.st.BytesOut[c] })
+	}
+	ctr := func(name, unit, help string, v *int64) {
+		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
+			ls, func() int64 { return *v })
+	}
+	ctr("spritefs_vm_evictions_total", "pages",
+		"Pages evicted under memory pressure.", &s.st.Evictions)
+	ctr("spritefs_vm_refaults_total", "pages",
+		"Backing pages faulted back in after eviction (the steady Section 5.3 backing traffic).", &s.st.Refaults)
+	ctr("spritefs_vm_code_reuse_total", "pages",
+		"Code pages reused from the retained pool without I/O.", &s.st.CodeReuse)
+}
