@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke bench experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck bench benchall experiments experiments-diff section4 section5 clean
 
 all: check
 
 # The gate every change must pass: compile, static checks, package-doc
 # and metrics-doc drift gates, tests, the race detector over the full
-# module, and the fault-injection suite (twice under race, plus a
-# randomized-schedule smoke with a fixed seed).
-check: build vet pkgdoc metricscheck test race faults faultsmoke
+# module, the fault-injection suite (twice under race, plus a
+# randomized-schedule smoke with a fixed seed), and the parallel-executor
+# byte-identity gate.
+check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck
 
 build:
 	$(GO) build ./...
@@ -62,8 +63,24 @@ faults:
 faultsmoke:
 	$(GO) test -short -run TestFaultSchedules ./internal/faults/check -faultseed 7
 
-# One iteration of every table/figure benchmark (reduced scale).
+# The parallel-vs-sequential byte-identity gate: the sharded executor
+# must produce identical reports and metric dumps at 1, 4 and 8 workers,
+# under the race detector (TestParallelMatchesSequential runs all three
+# worker counts as subtests).
+scalecheck:
+	$(GO) test -race -run 'TestParallelMatchesSequential|TestDeterministicAcrossRuns' -count=1 ./internal/scale
+
+# The scale and recovery macro benchmarks, with machine-readable output:
+# BENCH_scale.json records name, ns/op, allocs, clients and shards per
+# benchmark plus the derived shards=8-over-shards=1 wall-clock speedup,
+# so the perf trajectory is tracked from PR 4 onward.
 bench:
+	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -run '^$$' \
+		./internal/scale ./internal/faults/check | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_scale.json
+
+# One iteration of every table/figure benchmark (reduced scale).
+benchall:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Full-scale regeneration of the paper's evaluation, then a diff against

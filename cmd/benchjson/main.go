@@ -1,0 +1,201 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON so the performance trajectory can be tracked across commits.
+//
+// It reads benchmark output on stdin (or -in), keeps every benchmark line,
+// parses the /clients=N/shards=N name components the scale benchmarks
+// embed, and derives the wall-clock speedup of the highest shard count
+// over shards=1 for each client population:
+//
+//	go test -bench='ScaleEngine|RecoveryStorm' -benchmem ./... | benchjson -o BENCH_scale.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Clients     int     `json:"clients,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+}
+
+// Speedup compares two shard counts of the same benchmark and community.
+type Speedup struct {
+	Benchmark  string  `json:"benchmark"`
+	Clients    int     `json:"clients"`
+	Shards     int     `json:"shards"`
+	OverShards int     `json:"over_shards"`
+	WallClock  float64 `json:"wall_clock_speedup"`
+}
+
+// Output is the file layout.
+type Output struct {
+	Benchmarks []Entry   `json:"benchmarks"`
+	Speedups   []Speedup `json:"scale_speedups,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("o", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	o, err := Convert(r)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(o.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Convert parses benchmark output and derives the scale speedups.
+func Convert(r io.Reader) (*Output, error) {
+	o := &Output{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseLine(line)
+		if ok {
+			o.Benchmarks = append(o.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(o.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	o.Speedups = deriveSpeedups(o.Benchmarks)
+	return o, nil
+}
+
+// parseLine decodes one testing-package benchmark line:
+//
+//	BenchmarkX/clients=1000/shards=8-4  1  2900000000 ns/op  12 B/op  3 allocs/op
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	var e Entry
+	e.Name = fields[0]
+	// Strip the -GOMAXPROCS suffix the harness appends.
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name = e.Name[:i]
+		}
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.Iterations = iter
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			if e.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Entry{}, false
+			}
+		case "B/op":
+			e.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			e.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	if e.NsPerOp == 0 {
+		return Entry{}, false
+	}
+	for _, part := range strings.Split(e.Name, "/") {
+		if v, ok := strings.CutPrefix(part, "clients="); ok {
+			e.Clients, _ = strconv.Atoi(v)
+		}
+		if v, ok := strings.CutPrefix(part, "shards="); ok {
+			e.Shards, _ = strconv.Atoi(v)
+		}
+	}
+	return e, true
+}
+
+// deriveSpeedups computes, per (benchmark root, clients) group, the
+// wall-clock speedup of the highest shard count over shards=1.
+func deriveSpeedups(entries []Entry) []Speedup {
+	type key struct {
+		root    string
+		clients int
+	}
+	groups := map[key][]Entry{}
+	var order []key
+	for _, e := range entries {
+		if e.Shards == 0 {
+			continue
+		}
+		k := key{strings.SplitN(e.Name, "/", 2)[0], e.Clients}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	var out []Speedup
+	for _, k := range order {
+		var base, best *Entry
+		for i := range groups[k] {
+			e := &groups[k][i]
+			if e.Shards == 1 {
+				base = e
+			} else if best == nil || e.Shards > best.Shards {
+				best = e
+			}
+		}
+		if base == nil || best == nil {
+			continue
+		}
+		out = append(out, Speedup{
+			Benchmark:  k.root,
+			Clients:    k.clients,
+			Shards:     best.Shards,
+			OverShards: 1,
+			WallClock:  base.NsPerOp / best.NsPerOp,
+		})
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spritefs/internal/scale
+BenchmarkScaleEngine/clients=1000/shards=1-4         	       1	3200000000 ns/op	 900000 B/op	    1200 allocs/op
+BenchmarkScaleEngine/clients=1000/shards=8-4         	       1	 800000000 ns/op	 950000 B/op	    1300 allocs/op
+BenchmarkRecoveryStorm/clients=64-4                  	      10	   1500000 ns/op
+PASS
+ok  	spritefs/internal/scale	5.1s
+`
+
+func TestConvert(t *testing.T) {
+	o, err := Convert(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(o.Benchmarks))
+	}
+	e := o.Benchmarks[0]
+	if e.Name != "BenchmarkScaleEngine/clients=1000/shards=1" ||
+		e.Clients != 1000 || e.Shards != 1 ||
+		e.NsPerOp != 3.2e9 || e.BytesPerOp != 900000 || e.AllocsPerOp != 1200 {
+		t.Errorf("first entry parsed wrong: %+v", e)
+	}
+	storm := o.Benchmarks[2]
+	if storm.Clients != 64 || storm.Shards != 0 || storm.Iterations != 10 {
+		t.Errorf("recovery entry parsed wrong: %+v", storm)
+	}
+	if len(o.Speedups) != 1 {
+		t.Fatalf("derived %d speedups, want 1: %+v", len(o.Speedups), o.Speedups)
+	}
+	s := o.Speedups[0]
+	if s.Benchmark != "BenchmarkScaleEngine" || s.Clients != 1000 ||
+		s.Shards != 8 || s.OverShards != 1 || s.WallClock != 4.0 {
+		t.Errorf("speedup derived wrong: %+v", s)
+	}
+}
+
+func TestConvertRejectsEmpty(t *testing.T) {
+	if _, err := Convert(strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

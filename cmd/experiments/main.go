@@ -7,6 +7,7 @@
 //	experiments -exp section4 -traces 1,2 -hours 4 -scale 0.5
 //	experiments -exp section5 -days 1 -scale 0.5
 //	experiments -exp all -hours 24 -days 14        # full-scale, slow
+//	experiments -exp scale -clients 1000 -shards 1,2,4,8 -hours 0.25
 package main
 
 import (
@@ -22,21 +23,95 @@ import (
 	"spritefs/internal/stats"
 )
 
+// flagScope says which experiments each flag applies to; validateFlags
+// rejects explicitly-set flags the chosen experiment would silently
+// ignore. Flags absent from the map (exp, seed) apply everywhere.
+var flagScope = map[string][]string{
+	"traces":         {"all", "section4"},
+	"hours":          {"all", "section4", "faults", "timeseries", "scale"},
+	"days":           {"all", "section5"},
+	"scale":          {"all", "section4", "section5", "faults", "timeseries"},
+	"cdfdir":         {"all", "section4"},
+	"faults":         {"faults"},
+	"metrics-out":    {"timeseries"},
+	"metrics-format": {"timeseries"},
+	"metrics-sample": {"timeseries"},
+	"shards":         {"scale"},
+	"clients":        {"scale"},
+	"sequential":     {"scale"},
+	"workers":        {"scale"},
+}
+
+var validExps = []string{"all", "section4", "section5", "faults", "timeseries", "scale"}
+
+// validateFlags fails fast on unknown -exp names and on contradictory
+// combinations instead of silently running the default.
+func validateFlags(exp string, set map[string]bool, metricsFmt string) error {
+	known := false
+	for _, e := range validExps {
+		if exp == e {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (want one of %s)", exp, strings.Join(validExps, ", "))
+	}
+	for name := range set {
+		scope, ok := flagScope[name]
+		if !ok {
+			continue
+		}
+		applies := false
+		for _, e := range scope {
+			if e == exp {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			return fmt.Errorf("-%s does not apply to -exp %s (valid for: %s)",
+				name, exp, strings.Join(scope, ", "))
+		}
+	}
+	if set["metrics-format"] && !set["metrics-out"] {
+		return fmt.Errorf("-metrics-format without -metrics-out writes nothing; add -metrics-out")
+	}
+	switch metricsFmt {
+	case "tsv", "prom", "jsonl":
+	default:
+		return fmt.Errorf("unknown -metrics-format %q (want tsv, prom or jsonl)", metricsFmt)
+	}
+	return nil
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries")
-		traces = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
-		hours  = flag.Float64("hours", 24, "simulated hours per trace")
-		days   = flag.Float64("days", 14, "simulated days for the counter study")
-		scale  = flag.Float64("scale", 1.0, "community scale factor (1.0 = 40 clients)")
-		seed   = flag.Int64("seed", 0, "seed offset")
-		cdfDir = flag.String("cdfdir", "", "write the Figure 1-4 CDF series as TSV files into this directory")
-		sched  = flag.String("faults", "", "fault schedule for -exp faults (default: one server crash per hour)")
-		tsOut  = flag.String("metrics-out", "", "for -exp timeseries: also write the sampled series to this file ('-' = stdout)")
-		tsFmt  = flag.String("metrics-format", "tsv", "series dump format: tsv | prom | jsonl")
-		tsIntv = flag.Duration("metrics-sample", 10*time.Second, "sampling interval for -exp timeseries")
+		exp     = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries, scale")
+		traces  = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
+		hours   = flag.Float64("hours", 24, "simulated hours per trace")
+		days    = flag.Float64("days", 14, "simulated days for the counter study")
+		scale   = flag.Float64("scale", 1.0, "community scale factor (1.0 = 40 clients)")
+		seed    = flag.Int64("seed", 0, "seed offset")
+		cdfDir  = flag.String("cdfdir", "", "write the Figure 1-4 CDF series as TSV files into this directory")
+		sched   = flag.String("faults", "", "fault schedule for -exp faults (default: one server crash per hour)")
+		tsOut   = flag.String("metrics-out", "", "for -exp timeseries: also write the sampled series to this file ('-' = stdout)")
+		tsFmt   = flag.String("metrics-format", "tsv", "series dump format: tsv | prom | jsonl")
+		tsIntv  = flag.Duration("metrics-sample", 10*time.Second, "sampling interval for -exp timeseries")
+		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp scale")
+		clients = flag.Int("clients", 1000, "total community size for -exp scale")
+		seqExec = flag.Bool("sequential", false, "for -exp scale: force the sequential executor")
+		workers = flag.Int("workers", 0, "for -exp scale: parallel executor goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := validateFlags(*exp, setFlags, *tsFmt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *exp == "all" || *exp == "section4" {
 		nums, err := parseTraces(*traces)
@@ -97,6 +172,48 @@ func main() {
 		}
 		fmt.Println(core.FaultTables(r))
 	}
+
+	if *exp == "scale" {
+		counts, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		scaleHours := *hours
+		if !setFlags["hours"] {
+			scaleHours = 0 // RunScaleStudy's short default, not the trace studies' 24h
+		}
+		fmt.Fprintf(os.Stderr, "running scale study (%d clients, shards %s)...\n", *clients, *shards)
+		r, err := core.RunScaleStudy(core.ScaleOptions{
+			Clients: *clients, Shards: counts, Hours: scaleHours,
+			Seed: *seed, Sequential: *seqExec, Workers: *workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(core.ScaleTables(r))
+	}
+}
+
+// parseShards parses the -shards list.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts selected")
+	}
+	return out, nil
 }
 
 // dumpSeries writes the timeseries study's sampled registry series.

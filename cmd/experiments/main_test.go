@@ -1,6 +1,61 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins fail-fast behavior for unknown experiments and
+// flags the chosen experiment would silently ignore.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		exp  string
+		set  []string
+		fmt  string
+		want string // "" = valid; otherwise a substring of the error
+	}{
+		{"default all", "all", nil, "tsv", ""},
+		{"unknown exp", "bogus", nil, "tsv", "unknown experiment"},
+		{"traces for section5", "section5", []string{"traces"}, "tsv", "-traces does not apply"},
+		{"days for scale", "scale", []string{"days"}, "tsv", "-days does not apply"},
+		{"shards for faults", "faults", []string{"shards"}, "tsv", "-shards does not apply"},
+		{"format without out", "timeseries", []string{"metrics-format"}, "prom", "-metrics-out"},
+		{"bad format", "timeseries", []string{"metrics-out", "metrics-format"}, "xml", "xml"},
+		{"scale flags ok", "scale", []string{"shards", "clients", "hours", "workers"}, "tsv", ""},
+		{"timeseries ok", "timeseries", []string{"metrics-out", "metrics-sample", "hours"}, "tsv", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := validateFlags(tc.exp, set, tc.fmt)
+			if tc.want == "" {
+				if err != nil {
+					t.Errorf("validateFlags(%q, %v) = %v, want nil", tc.exp, tc.set, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("validateFlags(%q, %v) = %v, want substring %q", tc.exp, tc.set, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseShards pins the -shards list parser.
+func TestParseShards(t *testing.T) {
+	if got, err := parseShards("1, 2,8"); err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseShards(\"1, 2,8\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "-1"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) succeeded", bad)
+		}
+	}
+}
 
 func TestParseTraces(t *testing.T) {
 	got, err := parseTraces("1, 3,8")

@@ -56,7 +56,8 @@ func run(args []string, out io.Writer) error {
 		tracePaths = fs.String("trace", "", "comma-separated trace files (binary or text; merged in time order)")
 		speed      = fs.Float64("speed", 1, "time scale: 2 = twice recorded speed, 0 = as fast as possible")
 		sweep      = fs.String("sweep", "", "sweep axis, e.g. cache=512,2048,8192 | wb=5s,30s | mode=sprite,poll | poll=5s,30s")
-		workers    = fs.Int("workers", runtime.NumCPU(), "worker goroutines for -sweep")
+		shardsN    = fs.Int("shards", 0, "partition the trace's clients across N shards and replay each hermetically")
+		workers    = fs.Int("workers", runtime.NumCPU(), "worker goroutines for -sweep and -shards")
 		report     = fs.String("report", "summary", "report style: summary | tables | tsv")
 		servers    = fs.Int("servers", 4, "number of file servers")
 		seed       = fs.Int64("seed", 1, "simulator seed")
@@ -74,6 +75,39 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["metrics-sample"] && !set["metrics-out"] {
+		return fmt.Errorf("-metrics-sample writes <metrics-out>.series; it needs -metrics-out")
+	}
+	if set["metrics-format"] && !set["metrics-out"] {
+		return fmt.Errorf("-metrics-format without -metrics-out writes nothing; add -metrics-out")
+	}
+	switch *metricsFmt {
+	case "prom", "tsv", "jsonl":
+	default:
+		return fmt.Errorf("unknown -metrics-format %q (want prom, tsv or jsonl)", *metricsFmt)
+	}
+	switch *report {
+	case "summary", "tables", "tsv":
+	default:
+		return fmt.Errorf("unknown -report style %q (want summary, tables or tsv)", *report)
+	}
+	if set["workers"] && *sweep == "" && *shardsN == 0 {
+		return fmt.Errorf("-workers only applies to -sweep and -shards runs")
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d)", *workers)
+	}
+	if set["shards"] && *shardsN < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shardsN)
+	}
+	if *shardsN > 0 && *sweep != "" {
+		return fmt.Errorf("-shards and -sweep are mutually exclusive (one varies topology, the other configuration)")
+	}
+	if set["poll"] && *mode != "poll" && !strings.Contains(*sweep, "poll") && !strings.Contains(*sweep, "mode") {
+		return fmt.Errorf("-poll only applies with -mode poll (or a poll/mode sweep axis)")
 	}
 	paths := splitCSV(*tracePaths)
 	paths = append(paths, fs.Args()...)
@@ -122,6 +156,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer closeAll()
+
+	if *shardsN > 0 {
+		// Sharded replays partition a resident record slice by client.
+		recs, err := trace.Collect(stream)
+		if err != nil {
+			return err
+		}
+		results, err := replay.RunSharded(recs, base, *shardsN, *workers)
+		if err != nil {
+			return err
+		}
+		if err := writeMetrics(results, *metricsOut, *metricsFmt, out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, replay.ShardedTable(results))
+		return nil
+	}
 
 	if *sweep == "" {
 		res, err := replay.Run(base, stream)

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins fail-fast on contradictory flag combinations.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"sample without out", []string{"-metrics-sample", "10s", "-trace", "x"}, "-metrics-out"},
+		{"format without out", []string{"-metrics-format", "tsv", "-trace", "x"}, "-metrics-out"},
+		{"bad format", []string{"-metrics-out", "-", "-metrics-format", "xml", "-trace", "x"}, "xml"},
+		{"bad report", []string{"-report", "yaml", "-trace", "x"}, "yaml"},
+		{"workers without sweep", []string{"-workers", "4", "-trace", "x"}, "-sweep"},
+		{"zero workers", []string{"-workers", "0", "-sweep", "cache=512", "-trace", "x"}, "at least 1"},
+		{"poll without poll mode", []string{"-poll", "5s", "-trace", "x"}, "-mode poll"},
+		{"no traces", []string{}, "no trace files"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidCombosPassValidation checks validation does not reject the
+// documented invocations (they fail later, at trace open).
+func TestValidCombosPassValidation(t *testing.T) {
+	err := run([]string{"-trace", "/nonexistent", "-sweep", "cache=512", "-workers", "2",
+		"-metrics-out", "-", "-metrics-sample", "10s", "-mode", "poll", "-poll", "5s"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("want trace-open error, got %v", err)
+	}
+}

@@ -27,6 +27,11 @@ type Config struct {
 	// NumServers is the number of file servers (the paper's cluster had 4,
 	// with most traffic on one Sun 4).
 	NumServers int
+	// Net overrides the segment's wire parameters when BandwidthBps is
+	// non-zero; the zero value keeps the paper's 10 Mbit/s Ethernet. The
+	// scale-out topology uses this to give each shard its own segment
+	// configuration.
+	Net netsim.Config
 	// CollectTrace enables trace-record collection (Section 4 study).
 	CollectTrace bool
 	// TraceSink, when set with CollectTrace, receives records instead of
@@ -123,10 +128,14 @@ func New(cfg Config) *Cluster {
 		panic("cluster: need at least one server")
 	}
 	p := cfg.Params
+	ncfg := cfg.Net
+	if ncfg.BandwidthBps == 0 {
+		ncfg = netsim.DefaultConfig()
+	}
 	c := &Cluster{
 		Cfg:     cfg,
 		Sim:     sim.New(p.Seed),
-		Net:     netsim.New(netsim.DefaultConfig()),
+		Net:     netsim.New(ncfg),
 		lastOps: make(map[int32]int64),
 	}
 	c.tracing = cfg.CollectTrace
@@ -248,6 +257,22 @@ func (c *Cluster) Samples() []Sample { return c.samples }
 // the counter sampler start, the community runs, and the clock advances
 // past the horizon until all activity drains.
 func (c *Cluster) Run(duration time.Duration) {
+	c.Start(duration)
+	c.Sim.RunUntil(duration)
+	c.Finish()
+	c.Sim.RunUntil(duration + DrainTime)
+}
+
+// DrainTime is how far past the measurement horizon the clock advances so
+// in-flight programs and final writebacks settle (Run and the scale-out
+// executor both use it).
+const DrainTime = 10 * time.Minute
+
+// Start schedules everything a run needs — system processes, cleaner
+// daemons, samplers, backups, and the user community — without advancing
+// the clock. Callers that drive the clock themselves (the epoch-stepped
+// scale-out executor) pair it with Finish; Run wraps the whole sequence.
+func (c *Cluster) Start(duration time.Duration) {
 	c.startSystemProcs()
 	for _, cl := range c.Clients {
 		cl.StartCleaner()
@@ -274,9 +299,12 @@ func (c *Cluster) Run(duration time.Duration) {
 		c.scheduleBackups(duration)
 	}
 	c.Engine.Run(duration)
-	c.Sim.RunUntil(duration)
-	// Measurement ends at the horizon: daemons and samplers stop, then
-	// in-flight programs and final writebacks drain.
+}
+
+// Finish stops the daemons and samplers at measurement end. The caller
+// then advances the clock (by DrainTime past the horizon) so in-flight
+// programs and final writebacks drain.
+func (c *Cluster) Finish() {
 	for _, cl := range c.Clients {
 		cl.StopCleaner()
 	}
@@ -286,7 +314,6 @@ func (c *Cluster) Run(duration time.Duration) {
 	for _, tk := range c.tickers {
 		tk.Stop()
 	}
-	c.Sim.RunUntil(duration + 10*time.Minute)
 }
 
 // startSystemProcs gives every workstation its long-lived resident memory

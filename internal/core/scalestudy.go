@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spritefs/internal/scale"
+	"spritefs/internal/stats"
+	"spritefs/internal/workload"
+)
+
+// ScaleOptions configures the shard-count sweep.
+type ScaleOptions struct {
+	// Clients is the total community size across all shards (default
+	// 1000, twenty-five times the paper's population).
+	Clients int
+	// Shards lists the shard counts to sweep (default 1, 2, 4, 8).
+	Shards []int
+	// Hours of simulated time per configuration (default 0.25).
+	Hours float64
+	// Seed offsets the base community seed.
+	Seed int64
+	// Sequential forces the sequential executor even for multi-shard
+	// configurations (the default uses the parallel executor, whose
+	// output is byte-identical).
+	Sequential bool
+	// Workers bounds the parallel executor (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ScaleRow is one shard count's measurement.
+type ScaleRow struct {
+	Shards int
+	Report scale.Report
+	Stats  scale.RunStats
+}
+
+// ScaleResult is the throughput/saturation sweep: the same community run
+// as one big segment and progressively sharded, so the table shows where
+// the paper's mechanisms (segment bandwidth, server disks, consistency
+// recalls) saturate and how sharding relieves them.
+type ScaleResult struct {
+	Clients int
+	Hours   float64
+	Rows    []ScaleRow
+}
+
+// RunScaleStudy sweeps shard counts over a fixed community.
+func RunScaleStudy(opts ScaleOptions) (*ScaleResult, error) {
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 1000
+	}
+	shardCounts := opts.Shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	hours := opts.Hours
+	if hours <= 0 {
+		hours = 0.25
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 4242
+	}
+	horizon := time.Duration(hours * float64(time.Hour))
+
+	base := workload.Default(seed)
+	factor := float64(clients) / float64(base.NumClients)
+
+	res := &ScaleResult{Clients: clients, Hours: hours}
+	for _, n := range shardCounts {
+		eng, err := scale.New(scale.Config{Base: base, Factor: factor, Shards: n})
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		st := eng.Run(scale.RunOptions{
+			Horizon:  horizon,
+			Parallel: !opts.Sequential && n > 1,
+			Workers:  opts.Workers,
+		})
+		res.Rows = append(res.Rows, ScaleRow{Shards: n, Report: eng.Report(), Stats: st})
+	}
+	return res, nil
+}
+
+// ScaleTables renders the sweep: the saturation table (how hot each
+// configuration runs the paper's bottlenecks) and the executor table
+// (wall-clock per configuration, speedup relative to the first row).
+func ScaleTables(r *ScaleResult) string {
+	var b strings.Builder
+
+	sat := stats.NewTable(
+		fmt.Sprintf("Throughput vs shards: %d clients, %.2fh horizon", r.Clients, r.Hours),
+		"shards", "opens/s", "recalls/h", "maxnet%", "maxdisk%", "router%", "remote-ops", "rlat-ms")
+	for _, row := range r.Rows {
+		rep := row.Report
+		var maxNet, maxDisk float64
+		var remoteOps int64
+		var lat stats.Welford
+		for _, s := range rep.PerShard {
+			if s.NetUtil > maxNet {
+				maxNet = s.NetUtil
+			}
+			if s.ServerUtil > maxDisk {
+				maxDisk = s.ServerUtil
+			}
+			remoteOps += s.Remote.OpsIssued
+			lat.Merge(s.Remote.Latency)
+		}
+		var latMS float64
+		if lat.N() > 0 {
+			latMS = lat.Mean() / 1e6
+		}
+		sat.AddRow(
+			fmt.Sprintf("%d", row.Shards),
+			fmt.Sprintf("%.2f", rep.OpensPerSec),
+			fmt.Sprintf("%.1f", rep.RecallsPerHour),
+			fmt.Sprintf("%.1f", maxNet*100),
+			fmt.Sprintf("%.1f", maxDisk*100),
+			fmt.Sprintf("%.2f", rep.RouterUtil*100),
+			fmt.Sprintf("%d", remoteOps),
+			fmt.Sprintf("%.2f", latMS))
+	}
+	b.WriteString(sat.String())
+	b.WriteString("\n")
+
+	exec := stats.NewTable("Executor wall-clock",
+		"shards", "workers", "epochs", "barrier-msgs", "wall", "speedup")
+	base := r.Rows[0].Stats.Wall
+	for _, row := range r.Rows {
+		speedup := float64(base) / float64(row.Stats.Wall)
+		exec.AddRow(
+			fmt.Sprintf("%d", row.Shards),
+			fmt.Sprintf("%d", row.Stats.Workers),
+			fmt.Sprintf("%d", row.Stats.Exec.Epochs),
+			fmt.Sprintf("%d", row.Stats.Exec.Routed),
+			row.Stats.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	b.WriteString(exec.String())
+	b.WriteString("\nWall-clock and speedup are host measurements: shards run on separate\ngoroutines, so multi-shard speedup tracks the host's usable cores\n(GOMAXPROCS); on a single-core host expect ~1x.\n")
+	return b.String()
+}

@@ -123,15 +123,35 @@ func (f *Family) LabelKeys() []string {
 // Registry is the central metric store. It is not safe for concurrent
 // mutation; the simulators are single-threaded per run, and sweep workers
 // each own a private registry (which is what keeps dumps worker-count
-// invariant).
+// invariant). A Registry is a view onto a shared family store plus a
+// label scope; Scoped derives views that stamp extra labels onto every
+// registration, which is how the scale-out engine gives each shard's
+// component stack a shard="N" label without the components knowing.
 type Registry struct {
+	s     *store
+	scope Labels
+}
+
+// store is the family set shared by a registry and all its scoped views.
+type store struct {
 	fams   []*Family
 	byName map[string]*Family
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{byName: make(map[string]*Family)}
+	return &Registry{s: &store{byName: make(map[string]*Family)}}
+}
+
+// Scoped returns a view of the same registry that prepends the given
+// labels to every instance registered through it. Families are shared:
+// a family registered through any view appears once, with instances from
+// every scope. Scopes nest (scoping a scoped view concatenates labels).
+func (r *Registry) Scoped(ls ...Label) *Registry {
+	scope := make(Labels, 0, len(r.scope)+len(ls))
+	scope = append(scope, r.scope...)
+	scope = append(scope, ls...)
+	return &Registry{s: r.s, scope: scope}
 }
 
 // family fetches or creates the named family, enforcing that every
@@ -141,7 +161,7 @@ func (r *Registry) family(d Desc) *Family {
 	if d.Name == "" {
 		panic("metrics: empty metric name")
 	}
-	if f := r.byName[d.Name]; f != nil {
+	if f := r.s.byName[d.Name]; f != nil {
 		if f.Desc != d {
 			panic(fmt.Sprintf("metrics: %s re-registered with conflicting description (%+v vs %+v)",
 				d.Name, f.Desc, d))
@@ -149,13 +169,19 @@ func (r *Registry) family(d Desc) *Family {
 		return f
 	}
 	f := &Family{Desc: d}
-	r.fams = append(r.fams, f)
-	r.byName[d.Name] = f
+	r.s.fams = append(r.s.fams, f)
+	r.s.byName[d.Name] = f
 	return f
 }
 
 func (r *Registry) add(d Desc, ls Labels, m *metric) {
 	f := r.family(d)
+	if len(r.scope) > 0 {
+		scoped := make(Labels, 0, len(r.scope)+len(ls))
+		scoped = append(scoped, r.scope...)
+		scoped = append(scoped, ls...)
+		ls = scoped
+	}
 	m.labels = ls
 	m.key = ls.String()
 	for _, prev := range f.instances {
@@ -209,8 +235,8 @@ func (r *Registry) HistSeconds(d Desc, ls Labels, fn func() stats.Welford) {
 // Families returns every family sorted by name (the documentation and
 // export order).
 func (r *Registry) Families() []*Family {
-	out := make([]*Family, len(r.fams))
-	copy(out, r.fams)
+	out := make([]*Family, len(r.s.fams))
+	copy(out, r.s.fams)
 	sort.Slice(out, func(i, j int) bool { return out[i].Desc.Name < out[j].Desc.Name })
 	return out
 }
@@ -218,7 +244,7 @@ func (r *Registry) Families() []*Family {
 // Len returns the number of registered instances across all families.
 func (r *Registry) Len() int {
 	n := 0
-	for _, f := range r.fams {
+	for _, f := range r.s.fams {
 		n += len(f.instances)
 	}
 	return n
@@ -248,7 +274,7 @@ func (m *metric) matches(sel []Label) bool {
 // sum to zero (a subsystem that never constructed is a subsystem with all
 // counters at zero).
 func (r *Registry) SumInt(name string, sel ...Label) int64 {
-	f := r.byName[name]
+	f := r.s.byName[name]
 	if f == nil {
 		return 0
 	}
@@ -264,7 +290,7 @@ func (r *Registry) SumInt(name string, sel ...Label) int64 {
 
 // SumSeconds sums a duration family's instances matching the selectors.
 func (r *Registry) SumSeconds(name string, sel ...Label) time.Duration {
-	f := r.byName[name]
+	f := r.s.byName[name]
 	if f == nil {
 		return 0
 	}
@@ -281,7 +307,7 @@ func (r *Registry) SumSeconds(name string, sel ...Label) time.Duration {
 // MaxSeconds returns the maximum over a duration family's matching
 // instances (zero when none match).
 func (r *Registry) MaxSeconds(name string, sel ...Label) time.Duration {
-	f := r.byName[name]
+	f := r.s.byName[name]
 	if f == nil {
 		return 0
 	}

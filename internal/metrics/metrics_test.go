@@ -144,3 +144,31 @@ func TestMaxSeconds(t *testing.T) {
 		t.Fatalf("SumSeconds = %v", got)
 	}
 }
+
+func TestScopedRegistry(t *testing.T) {
+	r := New()
+	var a, b int64 = 3, 5
+	d := Desc{Name: "x_total", Unit: "ops", Help: "x.", Kind: Counter}
+	r.Scoped(L("shard", "0")).Int(d, Labels{L("client", "1")}, func() int64 { return a })
+	r.Scoped(L("shard", "1")).Int(d, Labels{L("client", "1")}, func() int64 { return b })
+	if got := r.SumInt("x_total"); got != 8 {
+		t.Fatalf("SumInt over scopes = %d, want 8", got)
+	}
+	if got := r.SumInt("x_total", L("shard", "1")); got != 5 {
+		t.Fatalf("SumInt shard=1 = %d, want 5", got)
+	}
+	fams := r.Families()
+	if len(fams) != 1 || fams[0].Instances() != 2 {
+		t.Fatalf("want one family with two instances, got %d families", len(fams))
+	}
+	if keys := fams[0].LabelKeys(); len(keys) != 1 || keys[0] != "shard,client" {
+		t.Fatalf("label keys = %v, want [shard,client]", keys)
+	}
+	// Same name+labels in the same scope is still a duplicate.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate scoped instance did not panic")
+		}
+	}()
+	r.Scoped(L("shard", "0")).Int(d, Labels{L("client", "1")}, func() int64 { return 0 })
+}

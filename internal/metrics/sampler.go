@@ -66,7 +66,7 @@ func (s *Sampler) Sample(now time.Duration) {
 	for i := range vals {
 		vals[i] = nan()
 	}
-	for _, f := range s.reg.fams {
+	for _, f := range s.reg.s.fams {
 		if f.Desc.Kind == Summary {
 			continue
 		}

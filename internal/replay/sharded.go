@@ -1,0 +1,115 @@
+// Shard-aware sweep driver: replay one trace as a sharded community.
+//
+// Where RunSweep holds the trace fixed and varies the configuration,
+// RunSharded holds the configuration fixed and varies the topology: the
+// trace's clients are partitioned across shards and each shard replays its
+// sub-trace against a hermetic engine, exactly how internal/scale splits a
+// live community across segments. Results are merged in shard order, so
+// the aggregate table is byte-identical for any worker count.
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"spritefs/internal/stats"
+	"spritefs/internal/trace"
+)
+
+// PartitionByClient splits a trace into shard sub-traces by client id
+// (client mod shards). Each sub-trace preserves record order, so every
+// shard sees a time-ordered subsequence of the original reference string.
+func PartitionByClient(recs []trace.Record, shards int) [][]trace.Record {
+	if shards < 1 {
+		panic(fmt.Sprintf("replay: PartitionByClient with %d shards", shards))
+	}
+	parts := make([][]trace.Record, shards)
+	for _, r := range recs {
+		s := int(r.Client) % shards
+		if s < 0 {
+			s += shards
+		}
+		parts[s] = append(parts[s], r)
+	}
+	return parts
+}
+
+// RunSharded partitions recs by client across shards and replays each
+// partition under base (hermetically, in parallel over workers). The
+// result slice is indexed by shard — independent of completion order.
+func RunSharded(recs []trace.Record, base Config, shards, workers int) ([]*Result, error) {
+	parts := PartitionByClient(recs, shards)
+	cfgs := make([]Config, shards)
+	for i := range cfgs {
+		cfgs[i] = base
+		name := base.Name
+		if name == "" {
+			name = "base"
+		}
+		cfgs[i].Name = fmt.Sprintf("%s/shard%d", name, i)
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	results := make([]*Result, shards)
+	errs := make([]error, shards)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i], trace.NewSliceStream(parts[i]))
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replay shard %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// ShardedTable summarizes a sharded replay one row per shard plus a
+// totals row, mirroring the scale engine's report shape: record and open
+// counts per shard, cache-effectiveness ratios, and wire traffic.
+func ShardedTable(results []*Result) *stats.Table {
+	t := stats.NewTable("Sharded trace replay",
+		"shard", "records", "opens", "miss%", "wb%", "netMB", "cws%", "recall%")
+	var recs, opens int64
+	var netBytes int64
+	for i, r := range results {
+		t6 := r.Report.Table6
+		t10 := r.Report.Table10
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", r.Stats.Applied),
+			fmt.Sprintf("%d", t10.FileOpens),
+			fmt.Sprintf("%.1f", t6.All.ReadMissPct),
+			fmt.Sprintf("%.1f", t6.All.WritebackPct),
+			fmt.Sprintf("%.1f", float64(r.Report.Table7.TotalBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", t10.CWSPct),
+			fmt.Sprintf("%.1f", t10.RecallPct))
+		recs += r.Stats.Applied
+		opens += t10.FileOpens
+		netBytes += r.Report.Table7.TotalBytes
+	}
+	t.AddRow("all",
+		fmt.Sprintf("%d", recs),
+		fmt.Sprintf("%d", opens),
+		"", "",
+		fmt.Sprintf("%.1f", float64(netBytes)/(1<<20)),
+		"", "")
+	return t
+}

@@ -1,0 +1,51 @@
+package scale_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spritefs/internal/scale"
+	"spritefs/internal/workload"
+)
+
+// benchHorizon keeps one iteration of the 1000-client macro benchmark in
+// the single-digit seconds on commodity hardware.
+const benchHorizon = 15 * time.Minute
+
+// BenchmarkScaleEngine is the throughput-vs-shards macro benchmark behind
+// BENCH_scale.json: the same 1000-client community run as one segment and
+// as eight. The shards=1 row is the sequential executor; multi-shard rows
+// use the parallel executor, so the ratio between them is the wall-clock
+// speedup sharding buys on this host (bounded by usable cores — on a
+// single-core host expect ~1x).
+func BenchmarkScaleEngine(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=1000/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := scale.MustNew(scale.Config{
+					Base:   workload.Default(42),
+					Factor: 25,
+					Shards: shards,
+				})
+				e.Run(scale.RunOptions{Horizon: benchHorizon, Parallel: shards > 1})
+			}
+		})
+	}
+}
+
+// BenchmarkScaleBarrier isolates the executor overhead: a small community
+// where remote messages (and so epochs) dominate the per-shard work.
+func BenchmarkScaleBarrier(b *testing.B) {
+	p := workload.Default(7)
+	p.NumClients = 16
+	p.DailyUsers = 12
+	p.OccasionalUsers = 4
+	cfg := scale.Config{Base: p, Shards: 4, ServersPerShard: 1}
+	cfg.Remote = scale.DefaultRemote()
+	cfg.Remote.OpsPerClientHour = 600 // one remote op per client every 6s
+	for i := 0; i < b.N; i++ {
+		e := scale.MustNew(cfg)
+		e.Run(scale.RunOptions{Horizon: 10 * time.Minute, Parallel: true})
+	}
+}

@@ -1,0 +1,27 @@
+// Package scale grows the measured 40-workstation, one-Ethernet cluster
+// into a sharded topology — many Ethernet segments, each with its own
+// server group and community slice, joined by an inter-segment router —
+// and runs it on a deterministic parallel executor.
+//
+// The topology is declarative: Config names the paper's community, a
+// population multiplier, a shard count, and the router's latency and
+// bandwidth; New instantiates one hermetic cluster (simulator, netsim
+// segment, servers, clients, workload engine) per shard plus a static
+// file→(shard, server) placement map of the files visible across
+// segments. A configurable slice of each shard's traffic crosses the
+// router to remote shards (reads of shared artifacts, writes into remote
+// logs), so segments are coupled exactly the way wide-area successors of
+// Sprite couple their sites.
+//
+// The executor is a conservative parallel discrete-event scheme: the
+// router's propagation latency is a hard lower bound on cross-shard
+// message delay, so every shard may advance one lookahead window (an
+// epoch) without hearing from the others. One goroutine per worker runs
+// shards through the epoch; at the barrier the coordinator routes the
+// epoch's outboxes and delivers them in sorted (arrival, shard, seq)
+// order. Because shards share no mutable state and the barrier exchange
+// is totally ordered, the parallel run is byte-identical to the
+// sequential one at any worker count and GOMAXPROCS — the property
+// TestParallelMatchesSequential pins down and `make scalecheck` guards
+// under the race detector.
+package scale

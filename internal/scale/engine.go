@@ -1,0 +1,331 @@
+package scale
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/metrics"
+	"spritefs/internal/sim"
+	"spritefs/internal/stats"
+	"spritefs/internal/workload"
+)
+
+// ExecStats counts what the epoch executor did. Every field is a pure
+// function of the topology and seeds — wall-clock time lives in RunStats,
+// not here — so ExecStats participates in the byte-identity guarantee.
+type ExecStats struct {
+	// Epochs is the number of barrier rounds executed.
+	Epochs int64
+	// Routed is the number of cross-shard messages exchanged at barriers.
+	Routed int64
+	// RoutedBytes is their total backbone payload.
+	RoutedBytes int64
+	// Undelivered counts messages still in flight when the drain window
+	// closed (they arrive after the simulation's end and are dropped).
+	Undelivered int64
+}
+
+// RunOptions selects the executor. The default (zero value) is the
+// sequential executor: every epoch runs its shards in index order on the
+// calling goroutine. Parallel fans each epoch out over Workers goroutines
+// with a barrier at every epoch boundary; reports and metric dumps are
+// byte-identical either way.
+type RunOptions struct {
+	// Horizon is the measured duration (0 = one hour). The clock then
+	// advances cluster.DrainTime further so in-flight work settles, as in
+	// a single-segment run.
+	Horizon time.Duration
+	// Parallel selects the parallel shard executor.
+	Parallel bool
+	// Workers bounds the parallel executor's goroutines (0 = GOMAXPROCS,
+	// capped at the shard count). Ignored when Parallel is false.
+	Workers int
+}
+
+// RunStats reports a finished run. Wall is measured host time and so is
+// the one field that varies run to run; everything else is deterministic.
+type RunStats struct {
+	Wall    time.Duration
+	Workers int // goroutines actually used (0 = sequential)
+	Exec    ExecStats
+}
+
+// Engine is an instantiated sharded topology plus its executor state.
+type Engine struct {
+	Cfg       Config
+	Shards    []*Shard
+	Router    *Router
+	Placement *Placement
+	// Reg is the topology-wide metric registry: every shard's component
+	// stack registered under a shard="N" label, plus the router and
+	// executor families.
+	Reg *metrics.Registry
+
+	exec    ExecStats
+	now     sim.Time
+	horizon time.Duration
+	ran     bool
+}
+
+// New instantiates the topology: the community is scaled to Factor× the
+// paper's population, split across Shards segments, and each segment gets
+// a hermetic cluster. The placement map and router are built, and every
+// component registers into the engine-wide metric registry.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	total := workload.ScaleCommunity(cfg.Base, cfg.Factor)
+	e := &Engine{Cfg: cfg, Router: NewRouter(cfg.Router, cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		p := workload.Split(total, cfg.Shards, i)
+		ccfg := cluster.DefaultConfig(p)
+		ccfg.CollectTrace = false
+		ccfg.SamplePeriod = 0
+		ccfg.NumServers = cfg.ServersPerShard
+		ccfg.Net = cfg.Segment
+		if cfg.Tune != nil {
+			cfg.Tune(i, &ccfg)
+		}
+		sh := &Shard{
+			ID:  i,
+			C:   cluster.New(ccfg),
+			rng: sim.NewRand(p.Seed ^ remoteSeedSalt),
+			eng: e,
+		}
+		e.Shards = append(e.Shards, sh)
+	}
+	e.Placement = buildPlacement(e.Shards)
+	e.Reg = metrics.New()
+	e.registerMetrics()
+	return e, nil
+}
+
+// MustNew is New for tests and examples with known-good configurations.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Clients returns the total client count across shards.
+func (e *Engine) Clients() int {
+	n := 0
+	for _, sh := range e.Shards {
+		n += len(sh.C.Clients)
+	}
+	return n
+}
+
+// epochJob is one shard's slice of an epoch.
+type epochJob struct {
+	sh  *Shard
+	end sim.Time
+}
+
+// Run executes the topology to opts.Horizon plus the drain window and
+// returns the run's statistics. An engine runs once; reuse is a bug.
+func (e *Engine) Run(opts RunOptions) RunStats {
+	if e.ran {
+		panic("scale: engine already ran")
+	}
+	e.ran = true
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = time.Hour
+	}
+	e.horizon = horizon
+
+	workers := 0
+	if opts.Parallel {
+		workers = opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(e.Shards) {
+			workers = len(e.Shards)
+		}
+	}
+
+	start := time.Now()
+	for _, sh := range e.Shards {
+		sh.C.Start(horizon)
+		sh.startRemote(horizon)
+	}
+
+	var jobs chan epochJob
+	var done chan struct{}
+	if workers > 0 {
+		jobs = make(chan epochJob, len(e.Shards))
+		done = make(chan struct{}, len(e.Shards))
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range jobs {
+					j.sh.runEpoch(j.end)
+					done <- struct{}{}
+				}
+			}()
+		}
+		defer close(jobs)
+	}
+	round := func(end sim.Time) {
+		if workers > 0 {
+			for _, sh := range e.Shards {
+				jobs <- epochJob{sh, end}
+			}
+			for range e.Shards {
+				<-done
+			}
+		} else {
+			for _, sh := range e.Shards {
+				sh.runEpoch(end)
+			}
+		}
+		e.barrier()
+	}
+
+	// Phase 1: the measured window.
+	e.runPhase(horizon, round)
+	// Phase 2: daemons and samplers stop at the horizon, exactly as in a
+	// single-segment run, then in-flight work drains.
+	for _, sh := range e.Shards {
+		sh.C.Finish()
+	}
+	e.runPhase(horizon+cluster.DrainTime, round)
+	for _, sh := range e.Shards {
+		e.exec.Undelivered += int64(len(sh.inbox))
+	}
+	return RunStats{Wall: time.Since(start), Workers: workers, Exec: e.exec}
+}
+
+// runPhase executes epochs until no shard has work at or before `until`,
+// then aligns every shard's clock to exactly `until`.
+//
+// The epoch boundary is conservative but not fixed-width: a shard can emit
+// a cross-shard message only when its remote generator fires or when it
+// serves an inbound request, and both of those next occurrence times are
+// known ahead of running. Any message sent at or after bound arrives at or
+// after bound+lookahead, so every shard may safely run to that point. When
+// no shard can ever send (one shard, remote traffic disabled, generators
+// past the horizon) the phase collapses to a single epoch.
+func (e *Engine) runPhase(until sim.Time, round func(end sim.Time)) {
+	lookahead := e.Router.Lookahead()
+	for {
+		var next sim.Time
+		found := false
+		bound := never
+		for _, sh := range e.Shards {
+			if t, ok := sh.nextAt(); ok && (!found || t < next) {
+				next, found = t, true
+			}
+			if t := sh.earliestSend(); t < bound {
+				bound = t
+			}
+		}
+		if !found || next > until {
+			break
+		}
+		end := until
+		if bound != never && bound+lookahead < end {
+			end = bound + lookahead
+		}
+		round(end)
+		e.now = end
+	}
+	for _, sh := range e.Shards {
+		sh.C.Sim.RunUntil(until)
+	}
+	e.now = until
+}
+
+// barrier routes every outbox emitted during the epoch and delivers the
+// messages to their destination inboxes. Iteration is in shard order and
+// per-shard emission order, and destinations re-sort by (Arrive, From,
+// Seq), so the exchange is identical regardless of which goroutines ran
+// the epoch.
+func (e *Engine) barrier() {
+	e.exec.Epochs++
+	var byDest [][]*Message
+	for _, sh := range e.Shards {
+		for _, m := range sh.takeOutbox() {
+			if m.To < 0 || m.To >= len(e.Shards) {
+				panic(fmt.Sprintf("scale: message to unknown shard %d", m.To))
+			}
+			e.Router.Route(m)
+			e.exec.Routed++
+			e.exec.RoutedBytes += m.Payload
+			if byDest == nil {
+				byDest = make([][]*Message, len(e.Shards))
+			}
+			byDest[m.To] = append(byDest[m.To], m)
+		}
+	}
+	for i, msgs := range byDest {
+		e.Shards[i].enqueue(msgs)
+	}
+}
+
+// registerMetrics builds the engine-wide registry: per-shard component
+// stacks under shard="N", per-shard remote-traffic counters, and the
+// router/executor families.
+func (e *Engine) registerMetrics() {
+	for i, sh := range e.Shards {
+		sh := sh
+		scoped := e.Reg.Scoped(metrics.L("shard", strconv.Itoa(i)))
+		cluster.RegisterComponents(scoped, sh.C.Clients, sh.C.Servers, sh.C.Net, sh.C.Injector)
+
+		rctr := func(name, unit, help string, fn func() int64) {
+			scoped.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, nil, fn)
+		}
+		rctr("spritefs_scale_remote_ops_issued_total", "ops",
+			"Cross-segment operations this shard's clients issued.",
+			func() int64 { return sh.remote.OpsIssued })
+		rctr("spritefs_scale_remote_ops_served_total", "ops",
+			"Cross-segment operations this shard's servers answered.",
+			func() int64 { return sh.remote.OpsServed })
+		rctr("spritefs_scale_remote_replies_total", "ops",
+			"Remote-operation completions received back at this shard.",
+			func() int64 { return sh.remote.Replies })
+		rctr("spritefs_scale_remote_read_bytes_total", "bytes",
+			"Logical bytes read from remote shards by this shard's clients.",
+			func() int64 { return sh.remote.BytesIn })
+		rctr("spritefs_scale_remote_write_bytes_total", "bytes",
+			"Logical bytes written to remote shards by this shard's clients.",
+			func() int64 { return sh.remote.BytesOut })
+		scoped.HistSeconds(metrics.Desc{Name: "spritefs_scale_remote_latency_seconds",
+			Help: "End-to-end remote operation latency (request issue to reply arrival)."},
+			nil, func() stats.Welford { return sh.remote.Latency })
+	}
+
+	ctr := func(name, unit, help string, fn func() int64) {
+		e.Reg.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, nil, fn)
+	}
+	ctr("spritefs_scale_router_msgs_total", "msgs",
+		"Messages carried by the inter-segment router.",
+		func() int64 { return e.Router.Msgs() })
+	ctr("spritefs_scale_router_bytes_total", "bytes",
+		"Payload bytes carried by the inter-segment router.",
+		func() int64 { return e.Router.Bytes() })
+	e.Reg.Seconds(metrics.Desc{Name: "spritefs_scale_router_busy_seconds",
+		Help: "Cumulative backbone transmission time; against elapsed virtual time it gives backbone utilization.",
+		Kind: metrics.Counter},
+		nil, func() time.Duration { return e.Router.Busy() })
+	ctr("spritefs_scale_epochs_total", "epochs",
+		"Barrier rounds the conservative executor ran.",
+		func() int64 { return e.exec.Epochs })
+	ctr("spritefs_scale_barrier_msgs_total", "msgs",
+		"Cross-shard messages exchanged at epoch barriers.",
+		func() int64 { return e.exec.Routed })
+	ctr("spritefs_scale_barrier_bytes_total", "bytes",
+		"Backbone payload bytes exchanged at epoch barriers.",
+		func() int64 { return e.exec.RoutedBytes })
+	ctr("spritefs_scale_undelivered_msgs_total", "msgs",
+		"Messages still in flight when the drain window closed.",
+		func() int64 { return e.exec.Undelivered })
+}

@@ -1,0 +1,147 @@
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"spritefs/internal/metrics"
+	"spritefs/internal/stats"
+)
+
+// ShardSummary is one segment's row of the scale report.
+type ShardSummary struct {
+	Shard     int
+	Clients   int
+	FileOpens int64
+	Recalls   int64
+	CWSEvents int64
+	NetBytes  int64
+	// NetUtil is the segment wire's busy fraction over the horizon — the
+	// paper's "four percent of an Ethernet" check, per segment.
+	NetUtil float64
+	// ServerUtil is the server group's disk busy fraction over the
+	// horizon, the closest thing the model has to server CPU saturation.
+	ServerUtil float64
+	Remote     RemoteStats
+}
+
+// Report is the deterministic summary of a finished run: identical bytes
+// for equal seeds whatever the executor, worker count or GOMAXPROCS.
+type Report struct {
+	Shards   int
+	Clients  int
+	Horizon  time.Duration
+	PerShard []ShardSummary
+
+	TotalOpens    int64
+	TotalRecalls  int64
+	TotalCWS      int64
+	TotalNetBytes int64
+	// OpensPerSec is aggregate open throughput over the horizon — the
+	// scale study's headline throughput number.
+	OpensPerSec float64
+	// RecallsPerHour is the aggregate dirty-data recall rate, the paper
+	// mechanism that grows superlinearly when one community is not
+	// sharded.
+	RecallsPerHour float64
+
+	RouterMsgs  int64
+	RouterBytes int64
+	RouterUtil  float64
+	Exec        ExecStats
+}
+
+// Report summarizes the finished run from the engine-wide registry.
+func (e *Engine) Report() Report {
+	if e.horizon <= 0 {
+		panic("scale: Report before Run")
+	}
+	hours := e.horizon.Hours()
+	secs := e.horizon.Seconds()
+	r := Report{
+		Shards:  len(e.Shards),
+		Clients: e.Clients(),
+		Horizon: e.horizon,
+		Exec:    e.exec,
+	}
+	for i, sh := range e.Shards {
+		sel := metrics.L("shard", fmt.Sprintf("%d", i))
+		s := ShardSummary{
+			Shard:     i,
+			Clients:   len(sh.C.Clients),
+			FileOpens: e.Reg.SumInt("spritefs_server_file_opens_total", sel),
+			Recalls:   e.Reg.SumInt("spritefs_server_recalls_total", sel),
+			CWSEvents: e.Reg.SumInt("spritefs_server_cws_events_total", sel),
+			NetBytes:  e.Reg.SumInt("spritefs_net_bytes_total", sel),
+			Remote:    sh.remote,
+		}
+		s.NetUtil = sh.C.Net.Busy().Seconds() / secs
+		var diskBusy time.Duration
+		for _, srv := range sh.C.Servers {
+			if srv.Store != nil {
+				diskBusy += srv.Store.Stats().DiskBusy
+			}
+		}
+		s.ServerUtil = diskBusy.Seconds() / secs / float64(len(sh.C.Servers))
+		r.PerShard = append(r.PerShard, s)
+
+		r.TotalOpens += s.FileOpens
+		r.TotalRecalls += s.Recalls
+		r.TotalCWS += s.CWSEvents
+		r.TotalNetBytes += s.NetBytes
+	}
+	r.OpensPerSec = float64(r.TotalOpens) / secs
+	r.RecallsPerHour = float64(r.TotalRecalls) / hours
+	r.RouterMsgs = e.Router.Msgs()
+	r.RouterBytes = e.Router.Bytes()
+	r.RouterUtil = e.Router.Busy().Seconds() / secs
+	return r
+}
+
+// Table renders the report one row per shard plus a totals row.
+func (r *Report) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Sharded cluster: %d clients over %d segments, %v",
+			r.Clients, r.Shards, r.Horizon),
+		"shard", "clients", "opens", "recalls", "cws", "netMB", "net%", "disk%",
+		"remote", "rlat-ms")
+	for _, s := range r.PerShard {
+		var latMS float64
+		if s.Remote.Latency.N() > 0 {
+			latMS = s.Remote.Latency.Mean() / 1e6
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", s.Shard),
+			fmt.Sprintf("%d", s.Clients),
+			fmt.Sprintf("%d", s.FileOpens),
+			fmt.Sprintf("%d", s.Recalls),
+			fmt.Sprintf("%d", s.CWSEvents),
+			fmt.Sprintf("%.1f", float64(s.NetBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", s.NetUtil*100),
+			fmt.Sprintf("%.1f", s.ServerUtil*100),
+			fmt.Sprintf("%d", s.Remote.OpsIssued),
+			fmt.Sprintf("%.2f", latMS))
+	}
+	t.AddRow("all",
+		fmt.Sprintf("%d", r.Clients),
+		fmt.Sprintf("%d", r.TotalOpens),
+		fmt.Sprintf("%d", r.TotalRecalls),
+		fmt.Sprintf("%d", r.TotalCWS),
+		fmt.Sprintf("%.1f", float64(r.TotalNetBytes)/(1<<20)),
+		"", "",
+		fmt.Sprintf("%d", r.RouterMsgs),
+		fmt.Sprintf("%.2f", r.RouterUtil*100))
+	return t
+}
+
+// ExecTable renders the executor/router bookkeeping.
+func (r *Report) ExecTable() *stats.Table {
+	t := stats.NewTable("Epoch executor", "counter", "value")
+	t.AddRow("epochs", fmt.Sprintf("%d", r.Exec.Epochs))
+	t.AddRow("messages routed", fmt.Sprintf("%d", r.Exec.Routed))
+	t.AddRow("backbone bytes", fmt.Sprintf("%d", r.Exec.RoutedBytes))
+	t.AddRow("undelivered at end", fmt.Sprintf("%d", r.Exec.Undelivered))
+	t.AddRow("router messages", fmt.Sprintf("%d", r.RouterMsgs))
+	t.AddRow("router utilization %", fmt.Sprintf("%.2f", r.RouterUtil*100))
+	return t
+}

@@ -1,0 +1,122 @@
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"spritefs/internal/sim"
+)
+
+// MsgKind tags a cross-shard message.
+type MsgKind uint8
+
+// Message kinds: a remote read request, a remote write request, and the
+// reply completing either.
+const (
+	RemoteRead MsgKind = iota
+	RemoteWrite
+	RemoteReply
+)
+
+var msgKindNames = [...]string{"remote-read", "remote-write", "remote-reply"}
+
+// String returns the kind name.
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// Message is one unit of cross-shard communication. Messages are created
+// inside a shard's epoch, routed at the barrier, and delivered into the
+// destination shard's simulator at Arrive. The (Arrive, From, Seq) triple
+// totally orders deliveries, which is what makes the parallel executor's
+// exchange deterministic.
+type Message struct {
+	Send   sim.Time // virtual time the source emitted it
+	Arrive sim.Time // Send + router latency + payload transmission
+	From   int      // source shard
+	To     int      // destination shard
+	Seq    uint64   // per-source sequence number (tie-break)
+
+	Kind MsgKind
+	// Op is the original operation kind a RemoteReply completes.
+	Op MsgKind
+	// Client is the originating client id within the source segment.
+	Client int32
+	// File is the placed file operated on (destination shard's id space).
+	File uint64
+	// Server is the destination server within the target shard.
+	Server int16
+	// Bytes is the logical operation size (bytes read or written).
+	Bytes int64
+	// Payload is what this particular message carries across the
+	// backbone: requests carry control bytes (plus the data for writes),
+	// replies carry the read data (or a control-sized ack).
+	Payload int64
+	// Issued is when the original request left its client, preserved in
+	// the reply so the source shard can record end-to-end latency.
+	Issued sim.Time
+}
+
+// ctrlBytes is the backbone cost of a request/ack frame without data.
+const ctrlBytes = 128
+
+// LinkStats accounts one directed inter-segment link.
+type LinkStats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Router is the inter-segment backbone: it prices every cross-shard
+// message and accounts per-link traffic. Routing happens only at epoch
+// barriers on the coordinator goroutine, so Router needs no locking.
+type Router struct {
+	cfg   RouterConfig
+	links [][]LinkStats // [from][to]
+
+	msgs  int64
+	bytes int64
+	busy  time.Duration
+}
+
+// NewRouter returns a router joining n segments.
+func NewRouter(cfg RouterConfig, n int) *Router {
+	links := make([][]LinkStats, n)
+	for i := range links {
+		links[i] = make([]LinkStats, n)
+	}
+	return &Router{cfg: cfg, links: links}
+}
+
+// Lookahead is the executor's safe window: no message can arrive sooner
+// than this after it is sent.
+func (r *Router) Lookahead() time.Duration { return r.cfg.Latency }
+
+// Route prices m, stamps its arrival time, and accounts the transfer.
+func (r *Router) Route(m *Message) {
+	if m.Payload < 0 {
+		panic(fmt.Sprintf("scale: negative payload %d", m.Payload))
+	}
+	xmit := time.Duration(float64(m.Payload) / r.cfg.BandwidthBps * float64(time.Second))
+	m.Arrive = m.Send + r.cfg.Latency + xmit
+	r.links[m.From][m.To].Msgs++
+	r.links[m.From][m.To].Bytes += m.Payload
+	r.msgs++
+	r.bytes += m.Payload
+	r.busy += xmit
+}
+
+// Msgs returns the total messages routed.
+func (r *Router) Msgs() int64 { return r.msgs }
+
+// Bytes returns the total payload bytes routed.
+func (r *Router) Bytes() int64 { return r.bytes }
+
+// Busy returns cumulative backbone transmission time; against elapsed
+// virtual time it gives backbone utilization.
+func (r *Router) Busy() time.Duration { return r.busy }
+
+// Link returns a copy of one directed link's accounting.
+func (r *Router) Link(from, to int) LinkStats { return r.links[from][to] }

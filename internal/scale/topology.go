@@ -1,0 +1,210 @@
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/netsim"
+	"spritefs/internal/sim"
+	"spritefs/internal/workload"
+)
+
+// RouterConfig parameterizes the inter-segment backbone. Latency is the
+// one-way store-and-forward delay every cross-shard message pays; it is
+// also the executor's lookahead, so a smaller latency means tighter
+// coupling and more synchronization barriers per simulated second.
+type RouterConfig struct {
+	// Latency is the fixed one-way inter-segment delay. Must be positive:
+	// a zero-latency backbone would leave the conservative executor no
+	// lookahead window to parallelize over.
+	Latency time.Duration
+	// BandwidthBps is the backbone bandwidth in bytes/second shared by
+	// all links (payload bytes add Payload/Bandwidth to the delay).
+	BandwidthBps float64
+}
+
+// DefaultRouter returns a campus-backbone router: 100 Mbit/s trunk and
+// 2 ms store-and-forward latency — an order of magnitude faster than the
+// measured segments, as the successor systems' backbones were.
+func DefaultRouter() RouterConfig {
+	return RouterConfig{Latency: 2 * time.Millisecond, BandwidthBps: 12.5e6}
+}
+
+// RemoteConfig shapes the cross-segment traffic: how often a client
+// reaches across the router, and for what.
+type RemoteConfig struct {
+	// OpsPerClientHour is the mean number of cross-segment operations one
+	// client issues per hour. Zero disables remote traffic (shards run
+	// fully decoupled; the executor still barriers but exchanges nothing).
+	OpsPerClientHour float64
+	// ReadFrac is the fraction of remote operations that are reads of a
+	// remote shard's shared artifacts; the rest are writes (remote log
+	// appends, result drops).
+	ReadFrac float64
+	// BytesMedian/BytesSigma give the log-normal size of a remote
+	// operation's payload.
+	BytesMedian float64
+	BytesSigma  float64
+}
+
+// DefaultRemote returns the cross-segment mix the scale study uses: a
+// handful of remote ops per client-hour (the paper's users touched other
+// groups' files rarely but measurably), read-mostly, with small-file
+// sized payloads.
+func DefaultRemote() RemoteConfig {
+	return RemoteConfig{
+		OpsPerClientHour: 6,
+		ReadFrac:         0.8,
+		BytesMedian:      8 * 1024,
+		BytesSigma:       1.0,
+	}
+}
+
+// Config declares a sharded cluster. The zero value is not runnable; at
+// minimum Base and Shards must be set. New applies defaults to the rest.
+type Config struct {
+	// Base is the single-segment community the topology multiplies and
+	// shards (usually workload.Default(seed)).
+	Base workload.Params
+	// Factor scales the community to Factor× the paper's population
+	// before sharding (1000 clients = Factor 25). <= 0 means 1.
+	Factor float64
+	// Shards is the number of Ethernet segments. Each segment gets its
+	// own netsim instance, server group and community slice.
+	Shards int
+	// ServersPerShard sizes each shard's server group (0 = the paper's 4).
+	ServersPerShard int
+	// Segment overrides each segment's wire parameters (zero keeps the
+	// measured 10 Mbit/s Ethernet).
+	Segment netsim.Config
+	// Router is the inter-segment backbone (zero = DefaultRouter).
+	Router RouterConfig
+	// Remote is the cross-segment traffic mix (zero = DefaultRemote; set
+	// Remote.OpsPerClientHour < 0 to disable remote traffic entirely).
+	Remote RemoteConfig
+	// Tune, when set, adjusts each shard's cluster configuration after
+	// the defaults are applied (ablations on a sharded world).
+	Tune func(shard int, cfg *cluster.Config)
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Factor <= 0 {
+		c.Factor = 1
+	}
+	if c.ServersPerShard <= 0 {
+		c.ServersPerShard = 4
+	}
+	if c.Router.Latency <= 0 && c.Router.BandwidthBps == 0 {
+		c.Router = DefaultRouter()
+	}
+	if c.Remote == (RemoteConfig{}) {
+		c.Remote = DefaultRemote()
+	}
+	if c.Remote.OpsPerClientHour < 0 {
+		c.Remote.OpsPerClientHour = 0
+	}
+	return c
+}
+
+// validate rejects configurations the executor cannot run correctly.
+func (c Config) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("scale: need at least one shard (got %d)", c.Shards)
+	}
+	if c.Router.Latency <= 0 {
+		return fmt.Errorf("scale: router latency must be positive (it is the executor's lookahead)")
+	}
+	if c.Router.BandwidthBps <= 0 {
+		return fmt.Errorf("scale: router bandwidth must be positive")
+	}
+	total := workload.ScaleCommunity(c.Base, c.Factor)
+	if total.NumClients < c.Shards {
+		return fmt.Errorf("scale: %d clients cannot populate %d shards", total.NumClients, c.Shards)
+	}
+	return nil
+}
+
+// PlacedFile is one entry of the static placement map: a file homed on a
+// specific server of a specific shard, visible across segments.
+type PlacedFile struct {
+	Shard  int
+	Server int16
+	File   uint64
+	Size   int64
+}
+
+// Placement is the static file→(shard, server) map of cross-segment
+// visible files. It is built once after bootstrap, before the executor
+// starts, and never mutated — shards read it concurrently without
+// synchronization.
+type Placement struct {
+	byShard [][]PlacedFile
+	total   int
+}
+
+// buildPlacement snapshots each shard's remotely visible artifacts: the
+// system binaries everyone execs, the kernel images, and the group shared
+// files — the file classes the paper's community actually shared across
+// group boundaries. Entries keep bootstrap order, which is deterministic.
+func buildPlacement(shards []*Shard) *Placement {
+	p := &Placement{byShard: make([][]PlacedFile, len(shards))}
+	for i, sh := range shards {
+		reg := sh.C.Registry
+		var files []uint64
+		for _, b := range reg.Binaries {
+			files = append(files, b.File)
+		}
+		files = append(files, reg.KernelImages...)
+		for g := workload.Group(0); g < workload.NumGroups; g++ {
+			files = append(files, reg.GroupShared[g]...)
+		}
+		placed := make([]PlacedFile, 0, len(files))
+		for _, f := range files {
+			srvIdx := int(f >> 48)
+			if srvIdx >= len(sh.C.Servers) {
+				srvIdx = 0
+			}
+			srv := sh.C.Servers[srvIdx]
+			var size int64
+			if fl := srv.Lookup(f); fl != nil {
+				size = fl.Size
+			}
+			placed = append(placed, PlacedFile{Shard: i, Server: int16(srvIdx), File: f, Size: size})
+		}
+		p.byShard[i] = placed
+		p.total += len(placed)
+	}
+	return p
+}
+
+// Len returns the number of placed files across all shards.
+func (p *Placement) Len() int { return p.total }
+
+// ShardFiles returns shard i's placed files (read-only).
+func (p *Placement) ShardFiles(i int) []PlacedFile { return p.byShard[i] }
+
+// PickRemote draws a placed file homed on any shard but `from`, uniform
+// over shards then over that shard's files. ok is false when no other
+// shard has placed files.
+func (p *Placement) PickRemote(rng *sim.Rand, from int) (PlacedFile, bool) {
+	n := len(p.byShard)
+	if n < 2 {
+		return PlacedFile{}, false
+	}
+	// Up to n tries to find a non-empty remote shard; placement is built
+	// from bootstrap artifacts, so empty shards are pathological.
+	for try := 0; try < n; try++ {
+		to := rng.Intn(n - 1)
+		if to >= from {
+			to++
+		}
+		files := p.byShard[to]
+		if len(files) == 0 {
+			continue
+		}
+		return files[rng.Intn(len(files))], true
+	}
+	return PlacedFile{}, false
+}

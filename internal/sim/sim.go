@@ -118,6 +118,16 @@ func (s *Sim) RunUntil(t Time) {
 // Pending returns the number of events still scheduled.
 func (s *Sim) Pending() int { return s.events.Len() }
 
+// NextAt returns the time of the earliest pending event. ok is false when
+// no events are scheduled. The conservative parallel executor uses this to
+// pick each epoch's start without disturbing the heap.
+func (s *Sim) NextAt() (t Time, ok bool) {
+	if s.events.Len() == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-time events

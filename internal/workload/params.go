@@ -249,6 +249,69 @@ func TraceParams(n int) Params {
 	return p
 }
 
+// ScaleCommunity multiplies the user community by factor: workstations,
+// daily and occasional users, and the big-file class projects all grow
+// together, while the per-user behavioural knobs stay at the paper's
+// calibration. factor 25 turns the measured 40-workstation cluster into
+// the 1000-client population the scale-out study runs. Factors <= 0 or
+// == 1 return p unchanged.
+func ScaleCommunity(p Params, factor float64) Params {
+	if factor <= 0 || factor == 1 {
+		return p
+	}
+	grow := func(n int) int {
+		v := int(float64(n)*factor + 0.5)
+		if v < 1 && n > 0 {
+			v = 1
+		}
+		return v
+	}
+	p.NumClients = grow(p.NumClients)
+	p.DailyUsers = grow(p.DailyUsers)
+	p.OccasionalUsers = grow(p.OccasionalUsers)
+	p.BigSimUsers = grow(p.BigSimUsers)
+	return p
+}
+
+// seedStride separates shard seeds far enough that per-shard random
+// streams share no obvious structure. Any large odd constant works; what
+// matters is that it is fixed, so shard i's community is a pure function
+// of (base seed, shard index) regardless of how many other shards exist.
+const seedStride = 0x3e3779b97f4a7c15
+
+// Split carves the community into shards equal segments and returns shard
+// i's slice: an independent Params whose population is the i-th
+// near-equal share (earlier shards get the remainders) and whose seed is
+// derived from the base seed and the shard index alone. Two properties
+// matter for the scale-out engine: the shares sum exactly to the original
+// population, and shard i's parameters do not depend on the contents of
+// any other shard — which is what makes per-shard op streams invariant
+// across shard assignments (TestSplitStreamInvariance). shards must be in
+// [1, NumClients]; Split panics otherwise.
+func Split(p Params, shards, shard int) Params {
+	if shards < 1 || shards > p.NumClients {
+		panic("workload: shard count out of range [1, NumClients]")
+	}
+	if shard < 0 || shard >= shards {
+		panic("workload: shard index out of range")
+	}
+	share := func(n int) int {
+		v := n / shards
+		if shard < n%shards {
+			v++
+		}
+		return v
+	}
+	p.NumClients = share(p.NumClients)
+	p.DailyUsers = share(p.DailyUsers)
+	p.OccasionalUsers = share(p.OccasionalUsers)
+	p.BigSimUsers = share(p.BigSimUsers)
+	if shards > 1 {
+		p.Seed += int64(shard) * seedStride
+	}
+	return p
+}
+
 // BSD1985 returns a parameter set approximating the 1985 BSD study's
 // world, the baseline against which the paper measures its "factor of 20"
 // throughput growth: a few 1-MIPS time-shared VAXes instead of personal
