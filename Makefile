@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck bench benchall experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck bench benchall experiments experiments-diff section4 section5 clean
 
 all: check
 
 # The gate every change must pass: compile, static checks, package-doc
 # and metrics-doc drift gates, tests, the race detector over the full
 # module, the fault-injection suite (twice under race, plus a
-# randomized-schedule smoke with a fixed seed), and the parallel-executor
-# byte-identity gate.
-check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck
+# randomized-schedule smoke with a fixed seed), the parallel-executor
+# byte-identity gate, and the steady-state allocation gates.
+check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck
 
 build:
 	$(GO) build ./...
@@ -70,14 +70,28 @@ faultsmoke:
 scalecheck:
 	$(GO) test -race -run 'TestParallelMatchesSequential|TestDeterministicAcrossRuns' -count=1 ./internal/scale
 
+# The allocation-regression gate: testing.AllocsPerRun pins the
+# scheduler's After/Every steady state and the netsim RPC round-trip at
+# exactly zero allocations per operation.
+allocscheck:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim ./internal/netsim
+
 # The scale and recovery macro benchmarks, with machine-readable output:
 # BENCH_scale.json records name, ns/op, allocs, clients and shards per
 # benchmark plus the derived shards=8-over-shards=1 wall-clock speedup,
-# so the perf trajectory is tracked from PR 4 onward.
+# so the perf trajectory is tracked from PR 4 onward. The second block
+# runs the simulation-core micro benchmarks and the sharded-replay macro
+# benchmark and writes BENCH_simcore.json, including a vs_baseline
+# section against the committed pre-optimization numbers.
 bench:
 	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -run '^$$' \
 		./internal/scale ./internal/faults/check | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_scale.json
+	$(GO) test -bench='BenchmarkEventThroughput|BenchmarkHeapChurn|BenchmarkSimCore' -benchmem -run '^$$' \
+		./internal/sim | tee bench_simcore_output.txt
+	$(GO) test -bench=BenchmarkShardedReplay -benchmem -benchtime=1x -run '^$$' \
+		./internal/replay | tee -a bench_simcore_output.txt
+	$(GO) run ./cmd/benchjson -in bench_simcore_output.txt -baseline BENCH_simcore_baseline.json -o BENCH_simcore.json
 
 # One iteration of every table/figure benchmark (reduced scale).
 benchall:
@@ -100,4 +114,4 @@ section5:
 	$(GO) run ./cmd/experiments -exp section5 -days 2 | tee results_section5.txt
 
 clean:
-	rm -f results_section4.txt results_section5.txt test_output.txt bench_output.txt
+	rm -f results_section4.txt results_section5.txt test_output.txt bench_output.txt bench_simcore_output.txt

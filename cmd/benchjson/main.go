@@ -7,6 +7,12 @@
 // over shards=1 for each client population:
 //
 //	go test -bench='ScaleEngine|RecoveryStorm' -benchmem ./... | benchjson -o BENCH_scale.json
+//
+// With -baseline pointing at an earlier benchjson output, a vs_baseline
+// section records the ns/op speedup and the allocs/op before and after
+// for every benchmark the two files share:
+//
+//	benchjson -in bench_output.txt -baseline BENCH_simcore_baseline.json -o BENCH_simcore.json
 package main
 
 import (
@@ -40,15 +46,30 @@ type Speedup struct {
 	WallClock  float64 `json:"wall_clock_speedup"`
 }
 
+// Delta compares one benchmark against the same-named benchmark in a
+// baseline file. Speedup is baseline-over-current ns/op, so 2.0 means
+// the code got twice as fast.
+type Delta struct {
+	Name            string  `json:"name"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	BaselineAllocs  int64   `json:"baseline_allocs_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
 // Output is the file layout.
 type Output struct {
 	Benchmarks []Entry   `json:"benchmarks"`
 	Speedups   []Speedup `json:"scale_speedups,omitempty"`
+	Baseline   string    `json:"baseline,omitempty"`
+	VsBaseline []Delta   `json:"vs_baseline,omitempty"`
 }
 
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("o", "", "JSON output file (default stdout)")
+	baseline := flag.String("baseline", "", "earlier benchjson output to compare against (adds a vs_baseline section)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -63,6 +84,11 @@ func main() {
 	o, err := Convert(r)
 	if err != nil {
 		fatal(err)
+	}
+	if *baseline != "" {
+		if err := o.compareBaseline(*baseline); err != nil {
+			fatal(err)
+		}
 	}
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
@@ -106,6 +132,43 @@ func Convert(r io.Reader) (*Output, error) {
 	}
 	o.Speedups = deriveSpeedups(o.Benchmarks)
 	return o, nil
+}
+
+// compareBaseline reads an earlier benchjson output and records, for
+// every benchmark present in both files (matched by name, sub-benchmark
+// path included), the ns/op speedup and the allocs/op before and after.
+func (o *Output) compareBaseline(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var base Output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e
+	}
+	o.Baseline = path
+	for _, e := range o.Benchmarks {
+		b, ok := byName[e.Name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		o.VsBaseline = append(o.VsBaseline, Delta{
+			Name:            e.Name,
+			BaselineNsPerOp: b.NsPerOp,
+			NsPerOp:         e.NsPerOp,
+			Speedup:         b.NsPerOp / e.NsPerOp,
+			BaselineAllocs:  b.AllocsPerOp,
+			AllocsPerOp:     e.AllocsPerOp,
+		})
+	}
+	if len(o.VsBaseline) == 0 {
+		return fmt.Errorf("-baseline %s: no benchmark names in common", path)
+	}
+	return nil
 }
 
 // parseLine decodes one testing-package benchmark line:

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +48,47 @@ func TestConvert(t *testing.T) {
 func TestConvertRejectsEmpty(t *testing.T) {
 	if _, err := Convert(strings.NewReader("PASS\n")); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	const baseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkEventThroughput", "iterations": 1, "ns_per_op": 66.0, "allocs_per_op": 1},
+    {"name": "BenchmarkGone", "iterations": 1, "ns_per_op": 10.0}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := Convert(strings.NewReader(
+		"BenchmarkEventThroughput-4  100  33.0 ns/op  0 B/op  0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.compareBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	if o.Baseline != path || len(o.VsBaseline) != 1 {
+		t.Fatalf("comparison wrong: baseline=%q deltas=%+v", o.Baseline, o.VsBaseline)
+	}
+	d := o.VsBaseline[0]
+	if d.Name != "BenchmarkEventThroughput" || d.Speedup != 2.0 ||
+		d.BaselineAllocs != 1 || d.AllocsPerOp != 0 {
+		t.Errorf("delta derived wrong: %+v", d)
+	}
+
+	// No names in common is an error, not a silently empty section.
+	o2, err := Convert(strings.NewReader("BenchmarkOther-4  1  5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.compareBaseline(path); err == nil {
+		t.Error("disjoint baseline accepted")
+	}
+	// A missing baseline file fails fast.
+	if err := o.compareBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing baseline file accepted")
 	}
 }

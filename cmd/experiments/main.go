@@ -20,12 +20,14 @@ import (
 	"time"
 
 	"spritefs/internal/core"
+	"spritefs/internal/prof"
 	"spritefs/internal/stats"
 )
 
 // flagScope says which experiments each flag applies to; validateFlags
 // rejects explicitly-set flags the chosen experiment would silently
-// ignore. Flags absent from the map (exp, seed) apply everywhere.
+// ignore. Flags absent from the map (exp, seed, cpuprofile,
+// memprofile) apply everywhere.
 var flagScope = map[string][]string{
 	"traces":         {"all", "section4"},
 	"hours":          {"all", "section4", "faults", "timeseries", "scale"},
@@ -102,6 +104,8 @@ func main() {
 		clients = flag.Int("clients", 1000, "total community size for -exp scale")
 		seqExec = flag.Bool("sequential", false, "for -exp scale: force the sequential executor")
 		workers = flag.Int("workers", 0, "for -exp scale: parallel executor goroutines (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
@@ -112,6 +116,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Profile files are created before any experiment runs so a bad path
+	// fails in milliseconds, not after hours of simulation.
+	pp, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := pp.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *exp == "all" || *exp == "section4" {
 		nums, err := parseTraces(*traces)

@@ -45,6 +45,18 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestProfileFlagsApplyEverywhere pins that -cpuprofile/-memprofile,
+// like -seed, are valid for every experiment (they are deliberately
+// absent from flagScope).
+func TestProfileFlagsApplyEverywhere(t *testing.T) {
+	set := map[string]bool{"cpuprofile": true, "memprofile": true}
+	for _, exp := range validExps {
+		if err := validateFlags(exp, set, "tsv"); err != nil {
+			t.Errorf("profile flags rejected for -exp %s: %v", exp, err)
+		}
+	}
+}
+
 // TestParseShards pins the -shards list parser.
 func TestParseShards(t *testing.T) {
 	if got, err := parseShards("1, 2,8"); err != nil || len(got) != 3 || got[2] != 8 {

@@ -39,6 +39,7 @@ import (
 
 	"spritefs/internal/client"
 	"spritefs/internal/faults"
+	"spritefs/internal/prof"
 	"spritefs/internal/replay"
 	"spritefs/internal/trace"
 )
@@ -50,7 +51,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	var (
 		tracePaths = fs.String("trace", "", "comma-separated trace files (binary or text; merged in time order)")
@@ -72,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		metricsOut = fs.String("metrics-out", "", "write the final metric registry dump to this file ('-' = stdout); sweeps append .<config> per configuration")
 		metricsFmt = fs.String("metrics-format", "prom", "registry dump format: prom | tsv | jsonl")
 		metricsTS  = fs.Duration("metrics-sample", 0, "also sample the registry as time series at this virtual-clock interval (written as <metrics-out>.series)")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the replay to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile (taken after the replay) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +153,18 @@ func run(args []string, out io.Writer) error {
 		}
 		base.Faults = sched
 	}
+
+	// Profile files are created before the replay starts so a bad path
+	// fails in milliseconds, not after the full run.
+	pp, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := pp.Stop(); err == nil {
+			err = serr
+		}
+	}()
 
 	stream, closeAll, err := openTraces(paths)
 	if err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,6 +34,27 @@ func TestFlagValidation(t *testing.T) {
 				t.Errorf("run(%v) error %q, want substring %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestProfileFlagsFailFast pins that an unwritable profile path is
+// rejected before any trace is opened, and that a good path produces a
+// profile file even when the replay itself fails.
+func TestProfileFlagsFailFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no/such/dir/out.pprof")
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		err := run([]string{flag, bad, "-trace", "/nonexistent"}, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), flag) {
+			t.Errorf("run(%s=%s) error %v, want %s failure", flag, bad, err, flag)
+		}
+	}
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	err := run([]string{"-cpuprofile", cpu, "-trace", "/nonexistent"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "nonexistent") {
+		t.Fatalf("want trace-open error, got %v", err)
+	}
+	if st, serr := os.Stat(cpu); serr != nil || st.Size() == 0 {
+		t.Errorf("CPU profile not written on the error path: %v", serr)
 	}
 }
 

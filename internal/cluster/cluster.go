@@ -191,7 +191,7 @@ func New(cfg Config) *Cluster {
 		c.Injector = faults.Attach(c, cfg.Faults)
 	}
 	c.Reg = metrics.New()
-	RegisterComponents(c.Reg, c.Clients, c.Servers, c.Net, c.Injector)
+	RegisterComponents(c.Reg, c.Sim, c.Clients, c.Servers, c.Net, c.Injector)
 	c.Engine = workload.NewEngine(c.Sim, p, c.Registry, hosts)
 	c.Engine.OnMigrate = func(user, pid, from, to int32) {
 		c.Emit(trace.Record{

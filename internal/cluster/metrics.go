@@ -6,6 +6,7 @@ import (
 	"spritefs/internal/metrics"
 	"spritefs/internal/netsim"
 	"spritefs/internal/server"
+	"spritefs/internal/sim"
 )
 
 // RegisterComponents registers a full component stack into one registry.
@@ -13,7 +14,25 @@ import (
 // for lazily materialized clients, its per-component pieces — so that any
 // run exposes the identical metric families and Report projections read
 // from one store regardless of who built the components.
-func RegisterComponents(r *metrics.Registry, clients []*client.Client, servers []*server.Server, net *netsim.Network, inj *faults.Injector) {
+//
+// sm, when non-nil, also exposes the simulation core's scheduler gauges
+// (event-queue depth, event-pool occupancy, armed timer-wheel timers) so
+// profiling runs can watch scheduler pressure alongside the model metrics.
+func RegisterComponents(r *metrics.Registry, sm *sim.Sim, clients []*client.Client, servers []*server.Server, net *netsim.Network, inj *faults.Injector) {
+	if sm != nil {
+		r.Int(metrics.Desc{Name: "spritefs_sim_events_pending", Unit: "events",
+			Help: "Events currently scheduled on the simulator (one-shot events plus armed tickers).",
+			Kind: metrics.Gauge},
+			nil, func() int64 { return int64(sm.Pending()) })
+		r.Int(metrics.Desc{Name: "spritefs_sim_event_pool_free", Unit: "events",
+			Help: "Recycled one-shot event arena slots awaiting reuse; the steady-state allocation-free scheduler draws from this pool.",
+			Kind: metrics.Gauge},
+			nil, func() int64 { return int64(sm.EventPoolFree()) })
+		r.Int(metrics.Desc{Name: "spritefs_sim_wheel_timers", Unit: "timers",
+			Help: "Recurring timers armed on the hierarchical timer wheel (periodic daemons created via Every).",
+			Kind: metrics.Gauge},
+			nil, func() int64 { return int64(sm.WheelTimers()) })
+	}
 	if net != nil {
 		net.RegisterMetrics(r)
 	}
@@ -35,7 +54,7 @@ func RegisterComponents(r *metrics.Registry, clients []*client.Client, servers [
 func (m *Metrics) Registry() *metrics.Registry {
 	if m.Reg == nil {
 		m.Reg = metrics.New()
-		RegisterComponents(m.Reg, m.Clients, m.Servers, m.Net, nil)
+		RegisterComponents(m.Reg, nil, m.Clients, m.Servers, m.Net, nil)
 	}
 	return m.Reg
 }

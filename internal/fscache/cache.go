@@ -1,8 +1,8 @@
 package fscache
 
 import (
-	"container/list"
 	"fmt"
+	"sort"
 	"time"
 
 	"spritefs/internal/stats"
@@ -54,7 +54,10 @@ type Writeback struct {
 	Age    time.Duration // time since the block was last written
 }
 
-// ReadResult reports the server traffic a read implies.
+// ReadResult reports the server traffic a read implies. The MissIdx and
+// Evicted slices alias per-cache scratch buffers: they are valid until
+// the next Read or Write on the same cache and must be consumed (or
+// copied) before then.
 type ReadResult struct {
 	MissBytes  int64   // bytes that must be fetched from the server
 	MissBlocks int     // number of blocks fetched
@@ -62,7 +65,8 @@ type ReadResult struct {
 	Evicted    []Writeback
 }
 
-// WriteResult reports the server traffic a write implies.
+// WriteResult reports the server traffic a write implies. The FetchIdx
+// and Evicted slices alias per-cache scratch buffers, like ReadResult's.
 type WriteResult struct {
 	FetchBytes  int64 // write-fetch bytes (partial writes of non-resident blocks)
 	FetchBlocks int
@@ -105,10 +109,16 @@ type Stats struct {
 	DirtyBytes int64
 }
 
+// Blocks live by value in a free-list arena (Cache.blocks) and are
+// referred to by int32 arena slots everywhere: the LRU list is intrusive
+// (prev/next slot links, front = most recent) and the per-file index maps
+// block index -> slot. Steady-state Read/Write therefore performs zero
+// allocations: a miss pops a recycled slot, an eviction pushes one back.
 type block struct {
 	file  uint64
 	index int64
-	elem  *list.Element
+	prev  int32 // LRU link toward the front (more recent)
+	next  int32 // LRU link toward the back; doubles as the free-list link
 
 	dirty   bool
 	dirtyAt time.Duration // when the block first became dirty
@@ -118,18 +128,98 @@ type block struct {
 	dirtyHi int64         // dirty bytes from block start (writeback size)
 }
 
-type fileBlocks map[int64]*block
+// fiDenseMax bounds the dense per-file index: files up to 32k blocks
+// (128 MB) index a slice directly; rarer huge offsets fall back to a map.
+const fiDenseMax = 1 << 15
+
+// fileIndex maps one file's block indices to arena slots.
+type fileIndex struct {
+	dense  []int32         // slot+1 per block index, 0 = absent
+	sparse map[int64]int32 // slots for block indices >= fiDenseMax
+	n      int             // resident blocks of this file
+}
+
+// get returns the arena slot holding block idx, or -1.
+func (fi *fileIndex) get(idx int64) int32 {
+	if idx < int64(len(fi.dense)) {
+		return fi.dense[idx] - 1
+	}
+	if idx < fiDenseMax {
+		return -1
+	}
+	s, ok := fi.sparse[idx]
+	if !ok {
+		return -1
+	}
+	return s
+}
+
+// set records block idx at arena slot s. idx must be absent.
+func (fi *fileIndex) set(idx int64, s int32) {
+	if idx < fiDenseMax {
+		if idx >= int64(len(fi.dense)) {
+			fi.dense = append(fi.dense, make([]int32, idx+1-int64(len(fi.dense)))...)
+		}
+		fi.dense[idx] = s + 1
+	} else {
+		if fi.sparse == nil {
+			fi.sparse = make(map[int64]int32)
+		}
+		fi.sparse[idx] = s
+	}
+	fi.n++
+}
+
+// del removes block idx from the index. idx must be present.
+func (fi *fileIndex) del(idx int64) {
+	if idx < fiDenseMax {
+		fi.dense[idx] = 0
+	} else {
+		delete(fi.sparse, idx)
+	}
+	fi.n--
+}
+
+// appendIndices appends the file's resident block indices to buf in
+// ascending order. The dense part is already ordered; sparse indices are
+// all larger, so sorting the appended tail suffices.
+func (fi *fileIndex) appendIndices(buf []int64) []int64 {
+	for idx, v := range fi.dense {
+		if v != 0 {
+			buf = append(buf, int64(idx))
+		}
+	}
+	if len(fi.sparse) > 0 {
+		start := len(buf)
+		for idx := range fi.sparse {
+			buf = append(buf, idx)
+		}
+		tail := buf[start:]
+		sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	}
+	return buf
+}
 
 // Cache is one client's (or server's) block cache.
 type Cache struct {
-	capacity   int // blocks
-	files      map[uint64]fileBlocks
-	lru        *list.List // front = most recent
+	capacity   int     // blocks
+	blocks     []block // arena; blocks referenced by slot index
+	freeB      int32   // free-slot list head through next, -1 when empty
+	lruFront   int32   // most recently used, -1 when empty
+	lruBack    int32   // least recently used
+	files      map[uint64]*fileIndex
+	fiFree     []*fileIndex // recycled (emptied) file indexes
 	nblocks    int
 	ndirty     int
 	dirtyBytes int64
 	wbDelay    time.Duration // 0 = default WritebackDelay
 	prefetch   int           // extra sequential blocks fetched per miss
+
+	// Reusable result buffers for the hot Read/Write paths. The slices in
+	// a returned ReadResult/WriteResult alias these and are valid until
+	// the next Read or Write on this cache.
+	idxScratch []int64
+	wbScratch  []Writeback
 
 	st Stats
 }
@@ -153,8 +243,60 @@ func New(capacityBlocks int) *Cache {
 	}
 	return &Cache{
 		capacity: capacityBlocks,
-		files:    make(map[uint64]fileBlocks),
-		lru:      list.New(),
+		freeB:    -1,
+		lruFront: -1,
+		lruBack:  -1,
+		files:    make(map[uint64]*fileIndex),
+	}
+}
+
+// slot returns the arena slot of the given block, or -1 if not resident.
+func (c *Cache) slot(file uint64, index int64) int32 {
+	fi := c.files[file]
+	if fi == nil {
+		return -1
+	}
+	return fi.get(index)
+}
+
+// allocBlock pops a recycled arena slot (or grows the arena).
+func (c *Cache) allocBlock() int32 {
+	s := c.freeB
+	if s >= 0 {
+		c.freeB = c.blocks[s].next
+	} else {
+		c.blocks = append(c.blocks, block{})
+		s = int32(len(c.blocks) - 1)
+	}
+	return s
+}
+
+// lruPushFront links slot s at the most-recent end.
+func (c *Cache) lruPushFront(s int32) {
+	b := &c.blocks[s]
+	b.prev = -1
+	b.next = c.lruFront
+	if c.lruFront >= 0 {
+		c.blocks[c.lruFront].prev = s
+	}
+	c.lruFront = s
+	if c.lruBack < 0 {
+		c.lruBack = s
+	}
+}
+
+// lruUnlink removes slot s from the LRU list.
+func (c *Cache) lruUnlink(s int32) {
+	b := &c.blocks[s]
+	if b.prev >= 0 {
+		c.blocks[b.prev].next = b.next
+	} else {
+		c.lruFront = b.next
+	}
+	if b.next >= 0 {
+		c.blocks[b.next].prev = b.prev
+	} else {
+		c.lruBack = b.prev
 	}
 }
 
@@ -180,42 +322,60 @@ func (c *Cache) Stats() Stats {
 
 // Contains reports whether the given block of file is resident.
 func (c *Cache) Contains(file uint64, index int64) bool {
-	_, ok := c.files[file][index]
-	return ok
+	return c.slot(file, index) >= 0
 }
 
-func (c *Cache) touch(b *block, now time.Duration) {
-	b.lastRef = now
-	c.lru.MoveToFront(b.elem)
-}
-
-func (c *Cache) insert(file uint64, index int64, now time.Duration) *block {
-	fb := c.files[file]
-	if fb == nil {
-		fb = make(fileBlocks)
-		c.files[file] = fb
+func (c *Cache) touch(s int32, now time.Duration) {
+	c.blocks[s].lastRef = now
+	if c.lruFront != s {
+		c.lruUnlink(s)
+		c.lruPushFront(s)
 	}
-	b := &block{file: file, index: index, lastRef: now}
-	b.elem = c.lru.PushFront(b)
-	fb[index] = b
-	c.nblocks++
-	return b
 }
 
-// remove unlinks a block from all structures. Dirty accounting is the
-// caller's responsibility.
-func (c *Cache) remove(b *block) {
-	c.lru.Remove(b.elem)
-	fb := c.files[b.file]
-	delete(fb, b.index)
-	if len(fb) == 0 {
+// insert adds a new resident block and returns its arena slot. The slot
+// may be invalidated by later inserts (the arena can move); callers must
+// not hold *block pointers across inserts.
+func (c *Cache) insert(file uint64, index int64, now time.Duration) int32 {
+	fi := c.files[file]
+	if fi == nil {
+		if n := len(c.fiFree); n > 0 {
+			// Recycled indexes were emptied before release, so the dense
+			// slice is all zeros (= all absent) at whatever length it
+			// reached; it can be reused as-is.
+			fi = c.fiFree[n-1]
+			c.fiFree = c.fiFree[:n-1]
+		} else {
+			fi = &fileIndex{}
+		}
+		c.files[file] = fi
+	}
+	s := c.allocBlock()
+	c.blocks[s] = block{file: file, index: index, lastRef: now}
+	c.lruPushFront(s)
+	fi.set(index, s)
+	c.nblocks++
+	return s
+}
+
+// remove unlinks the block at slot s from all structures and recycles the
+// slot. Dirty accounting is adjusted for dirty blocks.
+func (c *Cache) remove(s int32) {
+	b := &c.blocks[s]
+	c.lruUnlink(s)
+	fi := c.files[b.file]
+	fi.del(b.index)
+	if fi.n == 0 {
 		delete(c.files, b.file)
+		c.fiFree = append(c.fiFree, fi)
 	}
 	c.nblocks--
 	if b.dirty {
 		c.ndirty--
 		c.dirtyBytes -= b.dirtyHi
 	}
+	b.next = c.freeB
+	c.freeB = s
 }
 
 // cleanScanDepth bounds how far from the LRU tail the replacement scan
@@ -229,17 +389,17 @@ const cleanScanDepth = 512
 // ("usually only clean blocks are replaced"). vmTake marks the eviction as
 // a page handoff to the VM system rather than replacement by file data.
 func (c *Cache) evictOne(now time.Duration, vmTake bool) (Writeback, bool) {
-	e := c.lru.Back()
-	if e == nil {
+	s := c.lruBack
+	if s < 0 {
 		return Writeback{}, false
 	}
-	for cand, depth := e, 0; cand != nil && depth < cleanScanDepth; cand, depth = cand.Prev(), depth+1 {
-		if !cand.Value.(*block).dirty {
-			e = cand
+	for cand, depth := s, 0; cand >= 0 && depth < cleanScanDepth; cand, depth = c.blocks[cand].prev, depth+1 {
+		if !c.blocks[cand].dirty {
+			s = cand
 			break
 		}
 	}
-	b := e.Value.(*block)
+	b := &c.blocks[s]
 	c.st.ReplacementAge.Add(float64(now - b.lastRef))
 	if vmTake {
 		c.st.ReplacedVM++
@@ -255,7 +415,7 @@ func (c *Cache) evictOne(now time.Duration, vmTake bool) (Writeback, bool) {
 		}
 		wb = c.makeWriteback(b, reason, now)
 	}
-	c.remove(b)
+	c.remove(s)
 	return wb, dirty
 }
 
@@ -274,7 +434,7 @@ func (c *Cache) ensureRoom(now time.Duration, out *[]Writeback) {
 		if dirty {
 			*out = append(*out, wb)
 		}
-		if c.lru.Len() == 0 && c.nblocks >= c.capacity {
+		if c.lruBack < 0 && c.nblocks >= c.capacity {
 			return // capacity zero-ish; nothing more to do
 		}
 	}
@@ -301,12 +461,14 @@ func (c *Cache) Read(file uint64, offset, length, fileSize int64, attr Attr, now
 	if offset < 0 || offset+length > fileSize {
 		panic(fmt.Sprintf("fscache: read [%d,%d) beyond size %d", offset, offset+length, fileSize))
 	}
+	res.MissIdx = c.idxScratch[:0]
+	res.Evicted = c.wbScratch[:0]
 	first, last := blockSpan(offset, length)
 	for idx := first; idx <= last; idx++ {
 		c.countRead(attr)
-		b := c.files[file][idx]
-		if b != nil && c.blockCovers(b, idx, offset, length) {
-			c.touch(b, now)
+		s := c.slot(file, idx)
+		if s >= 0 && c.blockCovers(&c.blocks[s], idx, offset, length) {
+			c.touch(s, now)
 			continue
 		}
 		// Miss: fetch the valid portion of the block from the server.
@@ -316,12 +478,13 @@ func (c *Cache) Read(file uint64, offset, length, fileSize int64, attr Attr, now
 		if validEnd > BlockSize {
 			validEnd = BlockSize
 		}
-		if b == nil {
+		if s < 0 {
 			c.ensureRoom(now, &res.Evicted)
-			b = c.insert(file, idx, now)
+			s = c.insert(file, idx, now)
 		} else {
-			c.touch(b, now)
+			c.touch(s, now)
 		}
+		b := &c.blocks[s]
 		fetch := validEnd - b.validHi
 		if fetch < 0 {
 			fetch = 0
@@ -337,22 +500,24 @@ func (c *Cache) Read(file uint64, offset, length, fileSize int64, attr Attr, now
 		// Sequential prefetch (ablation): pull the following blocks too.
 		for p := int64(1); p <= int64(c.prefetch); p++ {
 			pi := idx + p
-			if pi*BlockSize >= fileSize || c.files[file][pi] != nil {
+			if pi*BlockSize >= fileSize || c.slot(file, pi) >= 0 {
 				break
 			}
 			c.ensureRoom(now, &res.Evicted)
-			pb := c.insert(file, pi, now)
+			ps := c.insert(file, pi, now)
 			end := fileSize - pi*BlockSize
 			if end > BlockSize {
 				end = BlockSize
 			}
-			pb.validHi = end
+			c.blocks[ps].validHi = end
 			res.MissBytes += end
 			res.MissBlocks++
 			res.MissIdx = append(res.MissIdx, pi)
 		}
 	}
 	c.addBytesRead(attr, length)
+	c.idxScratch = res.MissIdx[:0]
+	c.wbScratch = res.Evicted[:0]
 	return res
 }
 
@@ -380,6 +545,8 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 	if offset < 0 {
 		panic("fscache: negative write offset")
 	}
+	res.FetchIdx = c.idxScratch[:0]
+	res.Evicted = c.wbScratch[:0]
 	first, last := blockSpan(offset, length)
 	for idx := first; idx <= last; idx++ {
 		c.st.All.WriteOps++
@@ -396,9 +563,9 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 		if hi > BlockSize {
 			hi = BlockSize
 		}
-		b := c.files[file][idx]
+		s := c.slot(file, idx)
 		partial := lo > 0 || (hi < BlockSize && blockStart+hi < fileSizeBefore)
-		if b == nil {
+		if s < 0 {
 			// Write fetch: the block exists on the server (it holds bytes
 			// below fileSizeBefore), the write is partial, and the block is
 			// not resident — it must be fetched before modification.
@@ -408,7 +575,7 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 			}
 			needFetch := partial && existingEnd > 0 && lo < existingEnd
 			c.ensureRoom(now, &res.Evicted)
-			b = c.insert(file, idx, now)
+			s = c.insert(file, idx, now)
 			if needFetch {
 				c.st.All.WriteFetches++
 				if attr.Migrated {
@@ -417,11 +584,12 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 				res.FetchBytes += existingEnd
 				res.FetchBlocks++
 				res.FetchIdx = append(res.FetchIdx, idx)
-				b.validHi = existingEnd
+				c.blocks[s].validHi = existingEnd
 			}
 		} else {
-			c.touch(b, now)
+			c.touch(s, now)
 		}
+		b := &c.blocks[s]
 		if !b.dirty {
 			b.dirty = true
 			b.dirtyAt = now
@@ -440,6 +608,8 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 	if attr.Migrated {
 		c.st.Migrated.BytesWritten += length
 	}
+	c.idxScratch = res.FetchIdx[:0]
+	c.wbScratch = res.Evicted[:0]
 	return res
 }
 

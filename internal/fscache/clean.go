@@ -39,20 +39,32 @@ func (c *Cache) WriteDelay() time.Duration {
 func (c *Cache) Clean(now time.Duration) []Writeback {
 	var out []Writeback
 	delay := c.WriteDelay()
+	var idxs []int64
 	for _, file := range c.sortedFiles() {
-		fb := c.files[file]
+		fi := c.files[file]
 		expired := false
-		for _, b := range fb {
-			if b.dirty && now-b.dirtyAt >= delay {
-				expired = true
-				break
+		for _, v := range fi.dense {
+			if v != 0 {
+				if b := &c.blocks[v-1]; b.dirty && now-b.dirtyAt >= delay {
+					expired = true
+					break
+				}
+			}
+		}
+		if !expired {
+			for _, s := range fi.sparse {
+				if b := &c.blocks[s]; b.dirty && now-b.dirtyAt >= delay {
+					expired = true
+					break
+				}
 			}
 		}
 		if !expired {
 			continue
 		}
-		for _, b := range sortedBlocks(fb) {
-			if b.dirty {
+		idxs = fi.appendIndices(idxs[:0])
+		for _, idx := range idxs {
+			if b := &c.blocks[fi.get(idx)]; b.dirty {
 				out = append(out, c.cleanBlock(b, CleanDelay, now))
 			}
 		}
@@ -71,15 +83,6 @@ func (c *Cache) sortedFiles() []uint64 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
-}
-
-func sortedBlocks(fb fileBlocks) []*block {
-	bs := make([]*block, 0, len(fb))
-	for _, b := range fb {
-		bs = append(bs, b)
-	}
-	sort.Slice(bs, func(i, j int) bool { return bs[i].index < bs[j].index })
-	return bs
 }
 
 func (c *Cache) cleanBlock(b *block, reason CleanReason, now time.Duration) Writeback {
@@ -104,9 +107,13 @@ func (c *Cache) Recall(file uint64, now time.Duration) []Writeback {
 }
 
 func (c *Cache) flushFile(file uint64, reason CleanReason, now time.Duration) []Writeback {
+	fi := c.files[file]
+	if fi == nil {
+		return nil
+	}
 	var out []Writeback
-	for _, b := range sortedBlocks(c.files[file]) {
-		if b.dirty {
+	for _, idx := range fi.appendIndices(nil) {
+		if b := &c.blocks[fi.get(idx)]; b.dirty {
 			out = append(out, c.cleanBlock(b, reason, now))
 		}
 	}
@@ -120,22 +127,36 @@ func (c *Cache) flushFile(file uint64, reason CleanReason, now time.Duration) []
 // operating system stale dirty data cannot exist, so dirty bytes are
 // simply discarded.
 func (c *Cache) Invalidate(file uint64) int {
-	n := 0
-	for _, b := range c.files[file] {
-		c.remove(b)
-		n++
+	fi := c.files[file]
+	if fi == nil {
+		return 0
 	}
-	return n
+	idxs := fi.appendIndices(nil)
+	for _, idx := range idxs {
+		c.remove(fi.get(idx))
+	}
+	return len(idxs)
 }
 
-// FileDirty reports whether file has any dirty blocks resident.
-func (c *Cache) FileDirty(file uint64) bool {
-	for _, b := range c.files[file] {
-		if b.dirty {
+// fileDirty reports whether any block of fi is dirty.
+func (c *Cache) fileDirty(fi *fileIndex) bool {
+	for _, v := range fi.dense {
+		if v != 0 && c.blocks[v-1].dirty {
+			return true
+		}
+	}
+	for _, s := range fi.sparse {
+		if c.blocks[s].dirty {
 			return true
 		}
 	}
 	return false
+}
+
+// FileDirty reports whether file has any dirty blocks resident.
+func (c *Cache) FileDirty(file uint64) bool {
+	fi := c.files[file]
+	return fi != nil && c.fileDirty(fi)
 }
 
 // Delete drops every resident block of file; dirty bytes vanish without
@@ -144,12 +165,17 @@ func (c *Cache) FileDirty(file uint64) bool {
 // before it can be passed on to the server". The saved byte count is
 // returned and accumulated in the stats.
 func (c *Cache) Delete(file uint64) int64 {
+	fi := c.files[file]
+	if fi == nil {
+		return 0
+	}
 	var saved int64
-	for _, b := range c.files[file] {
-		if b.dirty {
+	for _, idx := range fi.appendIndices(nil) {
+		s := fi.get(idx)
+		if b := &c.blocks[s]; b.dirty {
 			saved += b.dirtyHi
 		}
-		c.remove(b)
+		c.remove(s)
 	}
 	c.st.BytesSavedByDelete += saved
 	return saved
@@ -158,16 +184,22 @@ func (c *Cache) Delete(file uint64) int64 {
 // Truncate drops blocks at or beyond newSize and trims the boundary block.
 // Dirty bytes above the cut are counted as saved, like Delete.
 func (c *Cache) Truncate(file uint64, newSize int64) int64 {
+	fi := c.files[file]
+	if fi == nil {
+		return 0
+	}
 	var saved int64
 	cutBlock := newSize / BlockSize
 	cutWithin := newSize % BlockSize
-	for idx, b := range c.files[file] {
+	for _, idx := range fi.appendIndices(nil) {
+		s := fi.get(idx)
+		b := &c.blocks[s]
 		switch {
 		case idx > cutBlock || (idx == cutBlock && cutWithin == 0):
 			if b.dirty {
 				saved += b.dirtyHi
 			}
-			c.remove(b)
+			c.remove(s)
 		case idx == cutBlock:
 			if b.validHi > cutWithin {
 				b.validHi = cutWithin
@@ -239,9 +271,8 @@ func (c *Cache) SetCapacity(blocks int, vmTake bool, now time.Duration) []Writeb
 // the cache is non-empty. The memory arbiter uses it to decide whether the
 // file cache or the VM system holds the colder page.
 func (c *Cache) OldestRef() (time.Duration, bool) {
-	e := c.lru.Back()
-	if e == nil {
+	if c.lruBack < 0 {
 		return 0, false
 	}
-	return e.Value.(*block).lastRef, true
+	return c.blocks[c.lruBack].lastRef, true
 }

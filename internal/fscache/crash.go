@@ -33,20 +33,24 @@ type CrashLoss struct {
 // measurement infrastructure, not the crashed memory).
 func (c *Cache) DiscardAll(now time.Duration) CrashLoss {
 	var loss CrashLoss
-	for _, fb := range c.files {
-		for _, b := range fb {
-			loss.Blocks++
-			if b.dirty {
-				loss.DirtyBlocks++
-				loss.DirtyBytes += b.dirtyHi
-				if age := now - b.dirtyAt; age > loss.MaxDirtyAge {
-					loss.MaxDirtyAge = age
-				}
+	for s := c.lruFront; s >= 0; s = c.blocks[s].next {
+		b := &c.blocks[s]
+		loss.Blocks++
+		if b.dirty {
+			loss.DirtyBlocks++
+			loss.DirtyBytes += b.dirtyHi
+			if age := now - b.dirtyAt; age > loss.MaxDirtyAge {
+				loss.MaxDirtyAge = age
 			}
 		}
 	}
-	c.files = make(map[uint64]fileBlocks)
-	c.lru.Init()
+	c.blocks = c.blocks[:0]
+	c.freeB = -1
+	c.lruFront = -1
+	c.lruBack = -1
+	// The file indexes still in the map hold stale slots; drop them. (The
+	// fiFree pool holds only emptied, all-zero indexes and stays usable.)
+	c.files = make(map[uint64]*fileIndex)
 	c.nblocks = 0
 	c.ndirty = 0
 	c.dirtyBytes = 0
@@ -57,12 +61,9 @@ func (c *Cache) DiscardAll(now time.Duration) CrashLoss {
 // in ascending order so recovery replay is deterministic.
 func (c *Cache) DirtyFiles() []uint64 {
 	var out []uint64
-	for f, fb := range c.files {
-		for _, b := range fb {
-			if b.dirty {
-				out = append(out, f)
-				break
-			}
+	for f, fi := range c.files {
+		if c.fileDirty(fi) {
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -85,9 +86,12 @@ func (c *Cache) RecoverFlush(file uint64, now time.Duration) []Writeback {
 func (c *Cache) CheckInvariants() error {
 	var nblocks, ndirty int
 	var dirtyBytes int64
-	for f, fb := range c.files {
-		for idx, b := range fb {
+	for f, fi := range c.files {
+		fn := 0
+		audit := func(idx int64, s int32) error {
+			fn++
 			nblocks++
+			b := &c.blocks[s]
 			if b.file != f || b.index != idx {
 				return fmt.Errorf("fscache: block keyed (%#x,%d) holds (%#x,%d)", f, idx, b.file, b.index)
 			}
@@ -106,6 +110,28 @@ func (c *Cache) CheckInvariants() error {
 			} else if b.dirtyHi != 0 {
 				return fmt.Errorf("fscache: clean block (%#x,%d) has dirtyHi %d", f, idx, b.dirtyHi)
 			}
+			return nil
+		}
+		for idx, v := range fi.dense {
+			if v != 0 {
+				if err := audit(int64(idx), v-1); err != nil {
+					return err
+				}
+			}
+		}
+		for idx, s := range fi.sparse {
+			if idx < fiDenseMax {
+				return fmt.Errorf("fscache: sparse index holds small block index %d of file %#x", idx, f)
+			}
+			if err := audit(idx, s); err != nil {
+				return err
+			}
+		}
+		if fn != fi.n {
+			return fmt.Errorf("fscache: file %#x index count %d, recount %d", f, fi.n, fn)
+		}
+		if fn == 0 {
+			return fmt.Errorf("fscache: empty file index for %#x not released", f)
 		}
 	}
 	if nblocks != c.nblocks {
@@ -117,8 +143,22 @@ func (c *Cache) CheckInvariants() error {
 	if dirtyBytes != c.dirtyBytes {
 		return fmt.Errorf("fscache: dirtyBytes %d, recount %d", c.dirtyBytes, dirtyBytes)
 	}
-	if c.lru.Len() != c.nblocks {
-		return fmt.Errorf("fscache: lru holds %d blocks, map holds %d", c.lru.Len(), c.nblocks)
+	lruLen := 0
+	prev := int32(-1)
+	for s := c.lruFront; s >= 0; s = c.blocks[s].next {
+		if c.blocks[s].prev != prev {
+			return fmt.Errorf("fscache: lru back-link broken at slot %d", s)
+		}
+		prev = s
+		if lruLen++; lruLen > c.nblocks {
+			return fmt.Errorf("fscache: lru holds more than the %d indexed blocks", c.nblocks)
+		}
+	}
+	if prev != c.lruBack {
+		return fmt.Errorf("fscache: lru tail is %d, walk ended at %d", c.lruBack, prev)
+	}
+	if lruLen != c.nblocks {
+		return fmt.Errorf("fscache: lru holds %d blocks, index holds %d", lruLen, c.nblocks)
 	}
 	return nil
 }

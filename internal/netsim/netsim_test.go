@@ -141,3 +141,51 @@ func TestRPCMonotoneAndConserving(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRPCZeroAllocSteadyState gates the hot accounting path: once a
+// client's slot exists in the dense per-client table, one send/receive
+// round trip (a read RPC out, a write RPC back) must not allocate.
+// `make allocscheck` runs this.
+func TestRPCZeroAllocSteadyState(t *testing.T) {
+	n := New(DefaultConfig())
+	n.RPCTo(0, 3, FileRead, 4096)    // warm the positive table
+	n.RPCTo(0, -101, FileRead, 4096) // warm a gateway pseudo-client slot
+	allocs := testing.AllocsPerRun(1000, func() {
+		n.RPCTo(0, 3, FileRead, 4096)
+		n.RPCTo(0, 3, FileWrite, 4096)
+		n.RPCTo(0, -101, Control, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("round trip allocated %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestFarClientIDs pins the map fallback for ids beyond the dense-table
+// bound: accounting stays exact and Clients() reports every issuer in
+// ascending order without growing a huge sparse slice.
+func TestFarClientIDs(t *testing.T) {
+	n := New(DefaultConfig())
+	n.RPC(1<<30, FileRead, 100)
+	n.RPC(-(1 << 30), FileWrite, 200)
+	n.RPC(5, FileRead, 300)
+	n.RPC(-101, Control, 0)
+	if got := n.Client(1 << 30).Bytes[FileRead]; got != 100 {
+		t.Errorf("far client bytes = %d, want 100", got)
+	}
+	if got := n.Client(-(1 << 30)).Bytes[FileWrite]; got != 200 {
+		t.Errorf("far negative client bytes = %d, want 200", got)
+	}
+	if len(n.pos) > 6 {
+		t.Errorf("dense table grew to %d entries for a far id", len(n.pos))
+	}
+	ids := n.Clients()
+	want := []int32{-(1 << 30), -101, 5, 1 << 30}
+	if len(ids) != len(want) {
+		t.Fatalf("Clients = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Clients = %v, want %v", ids, want)
+		}
+	}
+}

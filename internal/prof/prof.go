@@ -1,0 +1,82 @@
+// Package prof starts and stops pprof profile collection for the
+// command-line tools. Both output files are created up front so a bad
+// path fails before a multi-hour simulation runs, not after; the heap
+// profile itself is written at Stop, preceded by a GC so the snapshot
+// shows live steady-state memory rather than collectible garbage.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is an in-progress profile collection. The zero value is
+// inert; Stop on it is a no-op.
+type Session struct {
+	cpu *os.File
+	mem *os.File
+}
+
+// Start opens the requested profiles. Either path may be empty to skip
+// that profile. On error nothing is left running and any file already
+// created is closed (the truncated file remains on disk, as with any
+// failed write).
+func Start(cpuPath, memPath string) (*Session, error) {
+	var s Session
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		s.cpu = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			s.stopCPU()
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		s.mem = f
+	}
+	return &s, nil
+}
+
+func (s *Session) stopCPU() error {
+	if s.cpu == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := s.cpu.Close()
+	s.cpu = nil
+	if err != nil {
+		return fmt.Errorf("-cpuprofile: %w", err)
+	}
+	return nil
+}
+
+// Stop finishes collection: the CPU profile is flushed and closed, and
+// the heap profile is written. Safe to call more than once; later calls
+// are no-ops.
+func (s *Session) Stop() error {
+	err := s.stopCPU()
+	if s.mem != nil {
+		f := s.mem
+		s.mem = nil
+		runtime.GC() // materialize only live allocations in the snapshot
+		werr := pprof.WriteHeapProfile(f)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if err == nil && werr != nil {
+			err = fmt.Errorf("-memprofile: %w", werr)
+		}
+	}
+	return err
+}

@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	for i := 0; i < 1000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Stop is idempotent.
+	if err := s.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestStartFailsFastOnBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no/such/dir/cpu"), ""); err == nil {
+		t.Error("bad -cpuprofile path accepted")
+	}
+	if _, err := Start("", filepath.Join(t.TempDir(), "no/such/dir/mem")); err == nil {
+		t.Error("bad -memprofile path accepted")
+	}
+	// A bad mem path must not leave the CPU profiler running.
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	if _, err := Start(cpu, filepath.Join(t.TempDir(), "no/such/dir/mem")); err == nil {
+		t.Error("bad -memprofile path accepted alongside a good -cpuprofile")
+	}
+	s, err := Start(cpu, "")
+	if err != nil {
+		t.Fatalf("CPU profiler left running by failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueAndEmptyPaths(t *testing.T) {
+	var zero Session
+	if err := zero.Stop(); err != nil {
+		t.Errorf("zero-value Stop: %v", err)
+	}
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Errorf("empty-path Stop: %v", err)
+	}
+}

@@ -200,7 +200,7 @@ func New(cfg Config) *Engine {
 		e.Injector = faults.Attach(e, cfg.Faults)
 	}
 	e.Reg = metrics.New()
-	cluster.RegisterComponents(e.Reg, nil, e.Servers, e.Net, e.Injector)
+	cluster.RegisterComponents(e.Reg, e.Sim, nil, e.Servers, e.Net, e.Injector)
 	e.registerMetrics(e.Reg)
 	return e
 }

@@ -278,7 +278,7 @@ func (e *Engine) registerMetrics() {
 	for i, sh := range e.Shards {
 		sh := sh
 		scoped := e.Reg.Scoped(metrics.L("shard", strconv.Itoa(i)))
-		cluster.RegisterComponents(scoped, sh.C.Clients, sh.C.Servers, sh.C.Net, sh.C.Injector)
+		cluster.RegisterComponents(scoped, sh.C.Sim, sh.C.Clients, sh.C.Servers, sh.C.Net, sh.C.Injector)
 
 		rctr := func(name, unit, help string, fn func() int64) {
 			scoped.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, nil, fn)

@@ -41,9 +41,10 @@ type Shard struct {
 
 	rng *sim.Rand // remote-access generator stream
 
-	inbox  []*Message // pending inbound, sorted by (Arrive, From, Seq)
-	outbox []*Message // collected during the current epoch
-	seq    uint64
+	inbox   []*Message // pending inbound, sorted by (Arrive, From, Seq)
+	outbox  []*Message // collected during the current epoch
+	msgFree []*Message // recycled messages (refilled after delivery)
+	seq     uint64
 	// nextRemoteAt is the remote generator's next fire time (never when
 	// the generator is inactive or has stopped). Together with the inbox
 	// head it bounds the shard's earliest possible send, which lets the
@@ -57,6 +58,23 @@ type Shard struct {
 
 // Remote returns a snapshot of the shard's cross-segment accounting.
 func (sh *Shard) Remote() RemoteStats { return sh.remote }
+
+// allocMsg pops a recycled message (or allocates one). The caller
+// overwrites every field, so stale contents cannot leak. Each shard's
+// free list is touched only by the goroutine running that shard's epoch,
+// so no locking is needed; messages recycle into the free list of the
+// shard that consumed them, which may differ from the one that sent them.
+func (sh *Shard) allocMsg() *Message {
+	if n := len(sh.msgFree); n > 0 {
+		m := sh.msgFree[n-1]
+		sh.msgFree = sh.msgFree[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// freeMsg recycles a fully consumed message.
+func (sh *Shard) freeMsg(m *Message) { sh.msgFree = append(sh.msgFree, m) }
 
 // send stamps m with the shard's identity and sequence number and queues
 // it for routing at the next barrier.
@@ -119,7 +137,8 @@ func (sh *Shard) issueRemote() {
 	now := sh.C.Sim.Now()
 	client := int32(sh.rng.Intn(len(sh.C.Clients)))
 	bytes := int64(sh.rng.LogNormal(cfg.BytesMedian, cfg.BytesSigma)) + 1
-	m := &Message{
+	m := sh.allocMsg()
+	*m = Message{
 		Send:   now,
 		To:     pf.Shard,
 		Client: client,
@@ -148,7 +167,9 @@ func (sh *Shard) issueRemote() {
 	sh.send(m)
 }
 
-// deliver handles one inbound message at its arrival time.
+// deliver handles one inbound message at its arrival time. The message is
+// fully consumed by the handler, so it is recycled into this shard's free
+// list afterwards (serve copies every field it forwards into the reply).
 func (sh *Shard) deliver(m *Message) {
 	switch m.Kind {
 	case RemoteRead, RemoteWrite:
@@ -158,6 +179,7 @@ func (sh *Shard) deliver(m *Message) {
 	default:
 		panic(fmt.Sprintf("scale: shard %d received unknown message kind %v", sh.ID, m.Kind))
 	}
+	sh.freeMsg(m)
 }
 
 // serve answers a remote request against the shard's server group: the
@@ -184,22 +206,22 @@ func (sh *Shard) serve(m *Message) {
 		service += sh.C.Net.RPCTo(srv.ID(), gw, netsim.SharedWrite, m.Bytes)
 	}
 	sh.remote.OpsServed++
-	reply := &Message{
-		Send:   now + service,
-		To:     m.From,
-		Kind:   RemoteReply,
-		Op:     m.Kind,
-		Client: m.Client,
-		File:   m.File,
-		Server: m.Server,
-		Bytes:  m.Bytes,
-		Payload: func() int64 {
-			if m.Kind == RemoteRead {
-				return m.Bytes
-			}
-			return ctrlBytes
-		}(),
-		Issued: m.Issued,
+	payload := int64(ctrlBytes)
+	if m.Kind == RemoteRead {
+		payload = m.Bytes
+	}
+	reply := sh.allocMsg()
+	*reply = Message{
+		Send:    now + service,
+		To:      m.From,
+		Kind:    RemoteReply,
+		Op:      m.Kind,
+		Client:  m.Client,
+		File:    m.File,
+		Server:  m.Server,
+		Bytes:   m.Bytes,
+		Payload: payload,
+		Issued:  m.Issued,
 	}
 	sh.send(reply)
 }

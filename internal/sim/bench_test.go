@@ -21,16 +21,105 @@ func BenchmarkEventThroughput(b *testing.B) {
 }
 
 func BenchmarkHeapChurn(b *testing.B) {
-	// Many pending events at once: heap operations dominate.
+	// Many pending events at once: heap operations dominate. A 10k
+	// backlog parked in the far future keeps every push/pop working
+	// against a deep heap; the churn events themselves are fully
+	// drained, so the loop measures steady-state churn rather than
+	// unbounded heap growth (each iteration used to leave its event
+	// behind whenever an older one fired in its place).
 	s := New(1)
 	for i := 0; i < 10000; i++ {
-		s.At(time.Duration(i)*time.Second+time.Hour, func() {})
+		s.At(time.Duration(i)*time.Second+10000*time.Hour, func() {})
 	}
+	fired := 0
+	fn := func() { fired++ }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		s.After(time.Duration(i%1000)*time.Millisecond, fn)
 		s.Step()
 	}
+	for fired < b.N {
+		s.Step()
+	}
+	b.StopTimer()
+	if got := s.Pending(); got != 10000 {
+		b.Fatalf("pending = %d after drain, want the 10000-event backlog only", got)
+	}
+}
+
+// BenchmarkSimCore exercises the scheduler's three steady-state shapes:
+// a deep one-shot heap, a population of recurring timers on the wheel,
+// and the two mixed. All three must run allocation-free.
+func BenchmarkSimCore(b *testing.B) {
+	b.Run("oneshot", func(b *testing.B) {
+		s := New(1)
+		resident := 1024
+		if resident > b.N {
+			resident = b.N
+		}
+		scheduled, fired := resident, 0
+		var fn func()
+		fn = func() {
+			fired++
+			if scheduled < b.N {
+				scheduled++
+				s.After(time.Millisecond, fn)
+			}
+		}
+		for i := 0; i < resident; i++ {
+			s.After(time.Duration(i)*time.Microsecond, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for fired < scheduled {
+			s.Step()
+		}
+	})
+	b.Run("tickers", func(b *testing.B) {
+		s := New(2)
+		fired := 0
+		tks := make([]*Ticker, 64)
+		for i := range tks {
+			period := time.Duration(100+7*i) * time.Millisecond
+			tks[i] = s.Every(time.Duration(i)*time.Millisecond, period, func() { fired++ })
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for fired < b.N {
+			s.Step()
+		}
+		b.StopTimer()
+		for _, tk := range tks {
+			tk.Stop()
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		s := New(3)
+		fired := 0
+		tks := make([]*Ticker, 32)
+		for i := range tks {
+			period := time.Duration(50+11*i) * time.Millisecond
+			tks[i] = s.Every(time.Duration(i)*time.Millisecond, period, func() { fired++ })
+		}
+		var chain func()
+		chain = func() {
+			fired++
+			if fired < b.N {
+				s.After(300*time.Microsecond, chain)
+			}
+		}
+		s.After(0, chain)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for fired < b.N {
+			s.Step()
+		}
+		b.StopTimer()
+		for _, tk := range tks {
+			tk.Stop()
+		}
+	})
 }
 
 func BenchmarkRandDistributions(b *testing.B) {

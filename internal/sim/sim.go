@@ -1,13 +1,20 @@
 // Package sim provides the deterministic discrete-event simulation engine
 // underlying the whole reproduction. All the cluster machinery (clients,
 // servers, caches, daemons, the workload generators) runs on one virtual
-// clock driven by an event heap, so a run with a fixed seed is exactly
+// clock driven by an event scheduler, so a run with a fixed seed is exactly
 // reproducible — the property that lets the experiment harness regenerate
 // the paper's tables bit-for-bit across machines.
+//
+// The scheduler is allocation-free in steady state: one-shot events live in
+// a free-list arena ordered by an inlined 4-ary index min-heap (heap.go),
+// and recurring timers created by Every live in a hierarchical timer wheel
+// (wheel.go). Both structures key events by (time, seq), where seq is a
+// single counter shared across them, so the merged firing order — and
+// therefore every report byte — is identical to the original single-heap
+// implementation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -19,15 +26,16 @@ type Time = time.Duration
 // each simulated cluster owns one Sim and runs single-threaded (parallel
 // experiments run independent Sims).
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	rng    *Rand
+	now   Time
+	seq   uint64
+	pq    eventQueue // one-shot events (At/After)
+	wheel wheel      // recurring timers (Every)
+	rng   *Rand
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: NewRand(seed)}
+	return &Sim{pq: newEventQueue(), wheel: newWheel(), rng: NewRand(seed)}
 }
 
 // Now returns the current virtual time.
@@ -43,7 +51,7 @@ func (s *Sim) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.pq.push(s.pq.alloc(t, s.seq, fn))
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -57,11 +65,25 @@ func (s *Sim) After(d Time, fn func()) {
 
 // Ticker is a cancellable periodic event created by Every.
 type Ticker struct {
+	s       *Sim
+	idx     int32 // armed wheel entry, -1 while firing or after Stop
 	stopped bool
 }
 
-// Stop cancels future firings of the ticker.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop cancels future firings of the ticker. The pending wheel entry is
+// unlinked and recycled immediately — no tombstone stays behind in any
+// queue, so stopped tickers leave Pending unchanged.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.idx >= 0 {
+		t.s.wheel.unlink(t.idx)
+		t.s.wheel.release(t.idx)
+		t.idx = -1
+	}
+}
 
 // Every schedules fn to run at start and then every period thereafter,
 // until the returned Ticker is stopped or the simulation ends. It models
@@ -71,30 +93,56 @@ func (s *Sim) Every(start, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
-	tk := &Ticker{}
-	var tick func()
-	tick = func() {
-		if tk.stopped {
-			return
-		}
-		fn()
-		if !tk.stopped {
-			s.After(period, tick)
-		}
+	if start < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", start, s.now))
 	}
-	s.At(start, tick)
+	s.seq++
+	tk := &Ticker{s: s}
+	tk.idx = s.wheel.alloc(start, s.seq, period, fn, tk)
+	s.wheel.insert(s.now, tk.idx)
 	return tk
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
 // time. It reports whether an event was run.
 func (s *Sim) Step() bool {
-	if s.events.Len() == 0 {
+	at1, seq1, ok1 := s.pq.min()
+	at2, seq2, widx, ok2 := s.wheel.min(s.now)
+	switch {
+	case !ok1 && !ok2:
 		return false
+	case ok1 && (!ok2 || at1 < at2 || (at1 == at2 && seq1 < seq2)):
+		// One-shot event fires. Copy the fields out and release the
+		// arena slot before running fn: the callback may schedule new
+		// events, growing or reusing the arena.
+		i := s.pq.popMin()
+		e := &s.pq.pool[i]
+		at, fn := e.at, e.fn
+		s.pq.release(i)
+		s.now = at
+		fn()
+	default:
+		// Recurring timer fires. Unlink it, run the callback with the
+		// ticker disarmed (so Stop from inside fn is a plain flag set),
+		// then re-arm one period later — consuming the next seq *after*
+		// fn has run, exactly as the old self-rescheduling closure did.
+		s.wheel.unlink(widx)
+		e := &s.wheel.pool[widx]
+		fn, tk, period := e.fn, e.tk, e.period
+		tk.idx = -1
+		s.now = at2
+		fn()
+		if tk.stopped {
+			s.wheel.release(widx)
+		} else {
+			s.seq++
+			e = &s.wheel.pool[widx] // fn may have grown the arena
+			e.at = at2 + period
+			e.seq = s.seq
+			s.wheel.insert(s.now, widx)
+			tk.idx = widx
+		}
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.at
-	e.fn()
 	return true
 }
 
@@ -107,7 +155,11 @@ func (s *Sim) Run() {
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to exactly t. Events scheduled after t remain pending.
 func (s *Sim) RunUntil(t Time) {
-	for s.events.Len() > 0 && s.events[0].at <= t {
+	for {
+		at, ok := s.NextAt()
+		if !ok || at > t {
+			break
+		}
 		s.Step()
 	}
 	if s.now < t {
@@ -115,41 +167,30 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
-// Pending returns the number of events still scheduled.
-func (s *Sim) Pending() int { return s.events.Len() }
+// Pending returns the number of events still scheduled, counting each armed
+// ticker as one event.
+func (s *Sim) Pending() int { return s.pq.len() + s.wheel.count }
 
 // NextAt returns the time of the earliest pending event. ok is false when
 // no events are scheduled. The conservative parallel executor uses this to
-// pick each epoch's start without disturbing the heap.
+// pick each epoch's start without disturbing the scheduler.
 func (s *Sim) NextAt() (t Time, ok bool) {
-	if s.events.Len() == 0 {
+	at1, seq1, ok1 := s.pq.min()
+	at2, seq2, _, ok2 := s.wheel.min(s.now)
+	switch {
+	case !ok1 && !ok2:
 		return 0, false
+	case ok1 && (!ok2 || at1 < at2 || (at1 == at2 && seq1 < seq2)):
+		return at1, true
+	default:
+		return at2, true
 	}
-	return s.events[0].at, true
 }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
-}
+// EventPoolFree returns the number of recycled one-shot event slots waiting
+// for reuse (the spritefs_sim_event_pool_free gauge).
+func (s *Sim) EventPoolFree() int { return s.pq.freeLen() }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// WheelTimers returns the number of armed recurring timers in the wheel
+// (the spritefs_sim_wheel_timers gauge).
+func (s *Sim) WheelTimers() int { return s.wheel.count }

@@ -1,0 +1,251 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timer wheel for the recurring timers created by Every.
+//
+// The periodic daemons — the 5-second cache cleaners, the consistency
+// lease ticks, the counter and metric samplers — used to re-enter the
+// one-shot event heap on every firing, churning O(log n) sift work and
+// (before the arena rewrite) one allocation per tick. The wheel gives
+// them their own container: six levels of 64 slots each, level L slots
+// spanning 64^L ticks of ~4ms resolution, so an armed timer is one O(1)
+// intrusive-list insert and its removal (Ticker.Stop) is an O(1) unlink —
+// no tombstones are left behind in any queue.
+//
+// Exactness is preserved: the wheel only *buckets* timers by coarse
+// resolution, every entry keeps its exact (at, seq) key, and the
+// scheduler merges the wheel's minimum with the one-shot heap's minimum
+// by that key, so firing order — and therefore every simulated report
+// byte — is identical to the single-heap implementation.
+//
+// Because virtual time never passes a pending event (the simulator always
+// advances to the global minimum), slot placement never goes stale and no
+// cascading between levels is needed: an entry's rotational distance from
+// the current slot equals its true slot distance, except in the current
+// slot itself, which may also hold entries one full rotation ahead. The
+// minimum is therefore found by scanning, per level, the current slot
+// plus the first occupied slot after it — at most two short lists per
+// level — and the result is cached until the minimum entry fires or is
+// stopped.
+
+const (
+	// wheelResShift is the bucket resolution: 2^22 ns ≈ 4.2 ms per tick.
+	// Resolution affects only bucketing density, never firing times.
+	wheelResShift = 22
+	wheelBits     = 6
+	wheelSlots    = 1 << wheelBits // 64 slots per level
+	wheelLevels   = 6              // 64^6 ticks ≈ 9 years of horizon
+
+	wheelLocNone     = -1 // entry not linked (firing, free, or stopped)
+	wheelLocOverflow = -2 // entry on the beyond-horizon overflow list
+)
+
+// wentry is one armed recurring timer.
+type wentry struct {
+	at     Time
+	seq    uint64
+	period Time
+	fn     func()
+	tk     *Ticker
+	prev   int32 // intrusive slot-list links; prev < 0 at the head,
+	next   int32 // next < 0 at the tail; next doubles as the free link
+	loc    int16 // level<<wheelBits|slot, wheelLocOverflow, or wheelLocNone
+}
+
+// wheel is the recurring-timer scheduler state.
+type wheel struct {
+	pool     []wentry
+	free     int32 // free-slot list head through next, -1 when empty
+	slots    [wheelLevels * wheelSlots]int32
+	occ      [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	overflow int32               // beyond-horizon list head
+	count    int
+	minIdx   int32 // cached minimum entry, -1 when it must be recomputed
+}
+
+func newWheel() wheel {
+	w := wheel{free: -1, overflow: -1, minIdx: -1}
+	for i := range w.slots {
+		w.slots[i] = -1
+	}
+	return w
+}
+
+// alloc takes an arena slot for a new timer.
+func (w *wheel) alloc(at Time, seq uint64, period Time, fn func(), tk *Ticker) int32 {
+	i := w.free
+	if i >= 0 {
+		w.free = w.pool[i].next
+	} else {
+		w.pool = append(w.pool, wentry{})
+		i = int32(len(w.pool) - 1)
+	}
+	e := &w.pool[i]
+	e.at = at
+	e.seq = seq
+	e.period = period
+	e.fn = fn
+	e.tk = tk
+	e.loc = wheelLocNone
+	return i
+}
+
+// release returns an arena slot to the free list, dropping the callback
+// and ticker references.
+func (w *wheel) release(i int32) {
+	e := &w.pool[i]
+	e.fn = nil
+	e.tk = nil
+	e.next = w.free
+	w.free = i
+}
+
+// insert links entry i into the wheel for its at time. now is the current
+// virtual time; at must not be in the past.
+func (w *wheel) insert(now Time, i int32) {
+	e := &w.pool[i]
+	delta := int64(e.at>>wheelResShift) - int64(now>>wheelResShift)
+	if delta>>(wheelBits*wheelLevels) != 0 {
+		// Beyond the last level's horizon: park on the overflow list.
+		e.loc = wheelLocOverflow
+		e.prev = -1
+		e.next = w.overflow
+		if w.overflow >= 0 {
+			w.pool[w.overflow].prev = i
+		}
+		w.overflow = i
+	} else {
+		level := 0
+		for delta>>(wheelBits*(level+1)) != 0 {
+			level++
+		}
+		slot := int((int64(e.at>>wheelResShift) >> (wheelBits * level)) & (wheelSlots - 1))
+		loc := level<<wheelBits | slot
+		e.loc = int16(loc)
+		e.prev = -1
+		e.next = w.slots[loc]
+		if e.next >= 0 {
+			w.pool[e.next].prev = i
+		}
+		w.slots[loc] = i
+		w.occ[level] |= 1 << slot
+	}
+	w.count++
+	// Keep the cached minimum exact when it is cheap to do so.
+	if w.minIdx >= 0 {
+		m := &w.pool[w.minIdx]
+		if e.at < m.at || (e.at == m.at && e.seq < m.seq) {
+			w.minIdx = i
+		}
+	} else if w.count == 1 {
+		w.minIdx = i
+	}
+}
+
+// unlink removes entry i from whichever list holds it. The arena slot
+// stays allocated (the caller re-inserts or releases it).
+func (w *wheel) unlink(i int32) {
+	e := &w.pool[i]
+	switch {
+	case e.loc == wheelLocNone:
+		return
+	case e.loc == wheelLocOverflow:
+		if e.prev >= 0 {
+			w.pool[e.prev].next = e.next
+		} else {
+			w.overflow = e.next
+		}
+		if e.next >= 0 {
+			w.pool[e.next].prev = e.prev
+		}
+	default:
+		loc := int(e.loc)
+		if e.prev >= 0 {
+			w.pool[e.prev].next = e.next
+		} else {
+			w.slots[loc] = e.next
+		}
+		if e.next >= 0 {
+			w.pool[e.next].prev = e.prev
+		}
+		if w.slots[loc] < 0 {
+			w.occ[loc>>wheelBits] &^= 1 << (loc & (wheelSlots - 1))
+		}
+	}
+	e.loc = wheelLocNone
+	w.count--
+	if w.minIdx == i {
+		w.minIdx = -1
+	}
+}
+
+// scanList folds a slot list into the running minimum.
+func (w *wheel) scanList(head, best int32) int32 {
+	for i := head; i >= 0; i = w.pool[i].next {
+		if best < 0 {
+			best = i
+			continue
+		}
+		e, b := &w.pool[i], &w.pool[best]
+		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// min returns the earliest armed timer's key and arena slot. now is the
+// current virtual time (never past any pending entry).
+func (w *wheel) min(now Time) (at Time, seq uint64, idx int32, ok bool) {
+	if w.count == 0 {
+		return 0, 0, -1, false
+	}
+	if w.minIdx < 0 {
+		w.minIdx = w.recomputeMin(now)
+	}
+	e := &w.pool[w.minIdx]
+	return e.at, e.seq, w.minIdx, true
+}
+
+// recomputeMin scans the candidate slots. Per level only two lists can
+// hold the minimum: the current slot (which may mix this rotation with
+// the next) and the first occupied slot after it in rotation order (whose
+// entries all precede every later slot's). Overflow entries are compared
+// exactly as well.
+func (w *wheel) recomputeMin(now Time) int32 {
+	nowTick := int64(now >> wheelResShift)
+	best := int32(-1)
+	for level := 0; level < wheelLevels; level++ {
+		bm := w.occ[level]
+		if bm == 0 {
+			continue
+		}
+		c := int((nowTick >> (wheelBits * level)) & (wheelSlots - 1))
+		if bm&(1<<c) != 0 {
+			best = w.scanList(w.slots[level<<wheelBits|c], best)
+		}
+		// First occupied slot strictly after c, wrapping around.
+		rest := bm &^ (1 << c)
+		if rest != 0 {
+			var slot int
+			if hi := rest &^ ((1 << (c + 1)) - 1); hi != 0 {
+				slot = bits.TrailingZeros64(hi)
+			} else {
+				slot = bits.TrailingZeros64(rest)
+			}
+			best = w.scanList(w.slots[level<<wheelBits|slot], best)
+		}
+	}
+	best = w.scanList(w.overflow, best)
+	return best
+}
+
+// freeLen counts free arena slots (pool-occupancy introspection).
+func (w *wheel) freeLen() int {
+	n := 0
+	for i := w.free; i >= 0; i = w.pool[i].next {
+		n++
+	}
+	return n
+}
