@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck bench benchall experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke bench benchall experiments experiments-diff section4 section5 clean
 
 all: check
 
@@ -10,8 +10,10 @@ all: check
 # and metrics-doc drift gates, tests, the race detector over the full
 # module, the fault-injection suite (twice under race, plus a
 # randomized-schedule smoke with a fixed seed), the parallel-executor
-# byte-identity gate, and the steady-state allocation gates.
-check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck
+# byte-identity gate, the steady-state allocation gates, and the
+# live-service smoke (a real 5-second wall-clock soak with a mid-run
+# /metrics scrape).
+check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck soaksmoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +78,14 @@ scalecheck:
 allocscheck:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim ./internal/netsim
 
+# The live-service gate: a 2-second in-package mini-soak under the race
+# detector (the wall-clock dispatcher, agent fleet and live exporter are
+# exactly the concurrent code), then a real 5-second `serve` run — 8
+# agents, a mid-soak /metrics scrape, clean exit, non-empty report.
+soaksmoke:
+	$(GO) test -race -run TestLiveSoakShort -count=1 ./internal/live
+	$(GO) test -run TestSoakSmoke -count=1 ./cmd/serve
+
 # The scale and recovery macro benchmarks, with machine-readable output:
 # BENCH_scale.json records name, ns/op, allocs, clients and shards per
 # benchmark plus the derived shards=8-over-shards=1 wall-clock speedup,
@@ -92,6 +102,7 @@ bench:
 	$(GO) test -bench=BenchmarkShardedReplay -benchmem -benchtime=1x -run '^$$' \
 		./internal/replay | tee -a bench_simcore_output.txt
 	$(GO) run ./cmd/benchjson -in bench_simcore_output.txt -baseline BENCH_simcore_baseline.json -o BENCH_simcore.json
+	$(GO) run ./cmd/serve -clients 8 -rate 100 -duration 5s -bench-json BENCH_live.json
 
 # One iteration of every table/figure benchmark (reduced scale).
 benchall:

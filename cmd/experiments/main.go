@@ -21,6 +21,7 @@ import (
 
 	"spritefs/internal/core"
 	"spritefs/internal/prof"
+	"spritefs/internal/shutdown"
 	"spritefs/internal/stats"
 )
 
@@ -129,6 +130,11 @@ func main() {
 			os.Exit(1)
 		}
 	}()
+	// SIGINT/SIGTERM mid-study: flush the profiles before exiting so a
+	// -cpuprofile of an aborted multi-hour run is still loadable.
+	guard := shutdown.NewGuard()
+	defer guard.Close()
+	guard.Add(func() { pp.Stop() })
 
 	if *exp == "all" || *exp == "section4" {
 		nums, err := parseTraces(*traces)

@@ -35,12 +35,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"spritefs/internal/client"
 	"spritefs/internal/faults"
 	"spritefs/internal/prof"
 	"spritefs/internal/replay"
+	"spritefs/internal/shutdown"
 	"spritefs/internal/trace"
 )
 
@@ -166,6 +168,24 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 
+	// SIGINT/SIGTERM mid-run: flush the profiles and dump metrics for
+	// whatever configurations have completed instead of losing everything.
+	var partial partialResults
+	guard := shutdown.NewGuard()
+	defer guard.Close()
+	guard.Add(func() { pp.Stop() })
+	if *metricsOut != "" {
+		outPath, outFmt := *metricsOut, *metricsFmt
+		guard.Add(func() {
+			if rs := partial.snapshot(); len(rs) > 0 {
+				fmt.Fprintf(os.Stderr, "replay: interrupted; flushing metrics for %d completed configuration(s)\n", len(rs))
+				if err := writeMetrics(rs, outPath, outFmt, os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "replay:", err)
+				}
+			}
+		})
+	}
+
 	stream, closeAll, err := openTraces(paths)
 	if err != nil {
 		return err
@@ -209,7 +229,9 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	results, err := replay.RunSweep(recs, cfgs, *workers)
+	results, err := replay.RunSweepWith(recs, cfgs, *workers, func(_ int, r *replay.Result) {
+		partial.add(r)
+	})
 	if err != nil {
 		return err
 	}
@@ -217,6 +239,25 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	return printResults(out, results, *report)
+}
+
+// partialResults collects completed sweep results so the signal handler
+// can flush their metrics on an interrupted run.
+type partialResults struct {
+	mu sync.Mutex
+	rs []*replay.Result
+}
+
+func (p *partialResults) add(r *replay.Result) {
+	p.mu.Lock()
+	p.rs = append(p.rs, r)
+	p.mu.Unlock()
+}
+
+func (p *partialResults) snapshot() []*replay.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*replay.Result(nil), p.rs...)
 }
 
 // writeMetrics dumps each result's metric registry (and sampled series,

@@ -1,0 +1,281 @@
+// Command serve runs the reproduction as a live service: the simulated
+// Sprite server group on wall-clock time, a fleet of client agents driving
+// open/read/write/close/getattr traffic at a target rate, and the metric
+// registry exported live over HTTP in Prometheus text format.
+//
+// A 10-second soak with 64 agents at 200 requests/second:
+//
+//	serve -clients 64 -rate 200 -duration 10s
+//
+// Serve until SIGINT, scraping metrics from another terminal:
+//
+//	serve -clients 16 -rate 50 -listen 127.0.0.1:9100
+//	curl http://127.0.0.1:9100/metrics
+//
+// Replay a captured trace's shape instead of generated load, over the TCP
+// transport:
+//
+//	serve -clients 8 -rate 100 -duration 30s -trace trace1.srv0 -transport tcp
+//
+// The run ends with a per-verb latency/throughput report (wall-clock
+// p50/p95/p99). -bench-json additionally writes the headline numbers as a
+// JSON record for the perf-trajectory files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"spritefs/internal/live"
+	"spritefs/internal/prof"
+	"spritefs/internal/shutdown"
+	"spritefs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// validTransports lists the -transport values, flagScope-style: the flag
+// check fails fast on anything else instead of silently defaulting.
+var validTransports = []string{"inproc", "tcp"}
+
+// validateFlags rejects contradictory or out-of-range flag combinations
+// before anything is built (the cmd/experiments flagScope discipline).
+func validateFlags(clients int, rate float64, duration, deadline time.Duration,
+	transport string, set map[string]bool) error {
+	if clients < 1 {
+		return fmt.Errorf("-clients must be at least 1 (got %d)", clients)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive (got %g)", rate)
+	}
+	if duration < 0 {
+		return fmt.Errorf("-duration must be non-negative (0 = run until SIGINT, got %v)", duration)
+	}
+	if deadline <= 0 {
+		return fmt.Errorf("-deadline must be positive (got %v)", deadline)
+	}
+	known := false
+	for _, t := range validTransports {
+		if transport == t {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown -transport %q (want %s)", transport, strings.Join(validTransports, " or "))
+	}
+	if set["bench-json"] && duration == 0 {
+		return fmt.Errorf("-bench-json needs a bounded run; set -duration")
+	}
+	return nil
+}
+
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		clients   = fs.Int("clients", 8, "client agents driving load")
+		rate      = fs.Float64("rate", 50, "aggregate request rate (requests/second across the fleet)")
+		duration  = fs.Duration("duration", 0, "soak length; 0 runs until SIGINT/SIGTERM")
+		listen    = fs.String("listen", "127.0.0.1:0", "HTTP listen address for /metrics and /healthz")
+		tracePath = fs.String("trace", "", "replay this trace file's shape instead of generated load")
+		transport = fs.String("transport", "inproc", "agent transport: inproc | tcp")
+		deadline  = fs.Duration("deadline", 2*time.Second, "per-request deadline (retries included)")
+		seed      = fs.Int64("seed", 1, "file-population and agent RNG seed")
+		benchJSON = fs.String("bench-json", "", "write headline throughput/latency numbers to this JSON file")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the soak to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile (taken at drain) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(*clients, *rate, *duration, *deadline, *transport, set); err != nil {
+		return err
+	}
+
+	var replayRecs []trace.Record
+	if *tracePath != "" {
+		replayRecs, err = loadTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		if len(replayRecs) == 0 {
+			return fmt.Errorf("-trace %s holds no records", *tracePath)
+		}
+	}
+
+	pp, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := pp.Stop(); err == nil {
+			err = serr
+		}
+	}()
+
+	svc, err := live.NewService(live.ServiceConfig{Agents: *clients, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	counters := live.NewCounters(*clients)
+	counters.RegisterMetrics(svc.Cluster.Reg)
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	drained := false
+	defer func() {
+		if !drained {
+			svc.Drain()
+		}
+	}()
+
+	httpSrv, err := live.ServeHTTP(*listen, svc.WC, svc.Cluster.Reg)
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	fmt.Fprintf(out, "serve: metrics on http://%s/metrics  (healthz: /healthz)\n", httpSrv.Addr())
+
+	fleet := live.NewFleet(live.FleetConfig{
+		Agents:   *clients,
+		Rate:     *rate,
+		Deadline: *deadline,
+		Seed:     *seed,
+		Replay:   replayRecs,
+	}, svc, counters)
+	var tcpSrv *live.TCPServer
+	if *transport == "tcp" {
+		d := live.NewDispatcher(svc.WC, svc.Exec)
+		d.OnRetry(counters.Retry)
+		tcpSrv, err = live.ServeTCP("127.0.0.1:0", d)
+		if err != nil {
+			return err
+		}
+		defer tcpSrv.Close()
+		addr := tcpSrv.Addr()
+		fmt.Fprintf(out, "serve: rpc on tcp://%s\n", addr)
+		fleet.DialVia(func(int) (live.Transport, error) { return live.DialTCP(addr) })
+	}
+
+	mode := "generated"
+	if len(replayRecs) > 0 {
+		mode = fmt.Sprintf("replay of %d records", len(replayRecs))
+	}
+	fmt.Fprintf(out, "serve: %d agents, %.0f req/s (%s load, %s transport)\n",
+		*clients, *rate, mode, *transport)
+
+	start := time.Now()
+	if err := fleet.Start(); err != nil {
+		return err
+	}
+
+	// Graceful drain: a signal or the -duration timer ends the soak; the
+	// fleet finishes in-flight requests, the report prints, and the
+	// deferred profile stop still runs (a -cpuprofile of an interrupted
+	// soak stays loadable).
+	sig, stopSig := shutdown.Notify()
+	defer stopSig()
+	var timerC <-chan time.Time
+	if *duration > 0 {
+		t := time.NewTimer(*duration)
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case <-timerC:
+	case s := <-sig:
+		fmt.Fprintf(out, "serve: %v — draining\n", s)
+	}
+	fleet.Stop()
+	elapsed := time.Since(start)
+
+	rep := live.BuildReport(counters, elapsed)
+	fmt.Fprintln(out, rep.Table())
+
+	httpSrv.Close()
+	if tcpSrv != nil {
+		tcpSrv.Close()
+	}
+	svc.Drain()
+	drained = true
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *clients, *rate, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchRecord is the machine-readable soak summary, shaped like the other
+// BENCH_*.json perf-trajectory files.
+type benchRecord struct {
+	Name           string  `json:"name"`
+	Clients        int     `json:"clients"`
+	TargetRate     float64 `json:"target_rate_rps"`
+	DurationS      float64 `json:"duration_s"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P99Ns          int64   `json:"p99_ns"`
+}
+
+func writeBenchJSON(path string, clients int, rate float64, rep *live.Report) error {
+	rec := benchRecord{
+		Name:           "live_soak",
+		Clients:        clients,
+		TargetRate:     rate,
+		DurationS:      rep.Elapsed.Seconds(),
+		Requests:       rep.Requests,
+		Errors:         rep.Errors,
+		RequestsPerSec: rep.Throughput(),
+		P99Ns:          rep.P99().Nanoseconds(),
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// loadTrace reads one trace file (binary or text, sniffed from the first
+// byte like cmd/replay) fully into memory.
+func loadTrace(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var s trace.Stream
+	if first[0] == '#' {
+		s, err = trace.NewTextReader(br)
+	} else {
+		s, err = trace.NewReader(br)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	recs, err := trace.Collect(s)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}

@@ -617,6 +617,15 @@ func (c *Client) Fsync(hid uint64) time.Duration {
 	return lat
 }
 
+// HasHandle reports whether hid names a live open-instance on this
+// client. The live RPC executor uses it to distinguish "unknown handle"
+// from legitimately free operations (a fully cached write also reports
+// zero latency).
+func (c *Client) HasHandle(hid uint64) bool {
+	_, ok := c.handles[hid]
+	return ok
+}
+
 // Close releases the handle.
 func (c *Client) Close(hid uint64) (time.Duration, error) {
 	h := c.handles[hid]

@@ -273,6 +273,21 @@ const DrainTime = 10 * time.Minute
 // the clock. Callers that drive the clock themselves (the epoch-stepped
 // scale-out executor) pair it with Finish; Run wraps the whole sequence.
 func (c *Cluster) Start(duration time.Duration) {
+	c.StartDaemons()
+	if c.Cfg.Params.EmitBackupNoise && c.tracing {
+		c.scheduleBackups(duration)
+	}
+	c.Engine.Run(duration)
+}
+
+// StartDaemons schedules the standing machinery only — system processes,
+// client and server cleaners, and the samplers — without the user
+// community or backups. The live-service frontend uses this: its agent
+// fleet replaces the synthetic community, but delayed writes, consistency
+// and the VM balance still need their daemons. The scheduling order is
+// exactly Start's (event sequence numbers, and so replay determinism,
+// depend on it).
+func (c *Cluster) StartDaemons() {
 	c.startSystemProcs()
 	for _, cl := range c.Clients {
 		cl.StartCleaner()
@@ -295,10 +310,6 @@ func (c *Cluster) Start(duration time.Duration) {
 			c.MetricSampler.Sample(c.Sim.Now())
 		}))
 	}
-	if c.Cfg.Params.EmitBackupNoise && c.tracing {
-		c.scheduleBackups(duration)
-	}
-	c.Engine.Run(duration)
 }
 
 // Finish stops the daemons and samplers at measurement end. The caller

@@ -1,0 +1,69 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"spritefs/internal/metrics"
+)
+
+// HTTPServer exposes the metric registry live over HTTP: GET /metrics in
+// Prometheus text format and GET /healthz. Snapshots are marshalled onto
+// the dispatcher loop (registry value closures read cluster state only the
+// loop may touch), so a scrape observes one consistent instant of the
+// service.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeHTTP binds addr (e.g. "127.0.0.1:0") and starts serving. Addr
+// reports the bound address.
+func ServeHTTP(addr string, wc *WallClock, reg *metrics.Registry) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		var werr error
+		if err := wc.Call(func() { werr = reg.WritePrometheus(&buf) }); err != nil {
+			http.Error(w, "service draining", http.StatusServiceUnavailable)
+			return
+		}
+		if werr != nil {
+			http.Error(w, werr.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := wc.Call(func() {}); err != nil {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	s := &HTTPServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close gracefully shuts the HTTP server down, waiting briefly for
+// in-flight scrapes.
+func (s *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,166 @@
+package live
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCodecRoundTrip pushes requests and responses through encode/decode
+// and requires byte-exact field recovery, including negative offsets,
+// error strings, and the frame length prefix.
+func TestCodecRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{},
+		{Verb: VerbOpen, Agent: 7, File: 0xdeadbeefcafe, Write: true},
+		{Verb: VerbRead, Agent: -1, Handle: ^uint64(0), Offset: -8, Length: 1 << 40},
+		{Verb: VerbGetattr, Agent: 39, File: 42},
+	}
+	for i, in := range reqs {
+		frame := encodeRequest(nil, &in, 1500*time.Millisecond)
+		if len(frame) != 4+reqPayloadLen {
+			t.Fatalf("req %d: frame length %d, want %d", i, len(frame), 4+reqPayloadLen)
+		}
+		out, deadline, err := decodeRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("req %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("req %d: round trip %+v -> %+v", i, in, out)
+		}
+		if deadline != 1500*time.Millisecond {
+			t.Errorf("req %d: deadline %v", i, deadline)
+		}
+	}
+
+	resps := []Response{
+		{},
+		{Handle: 99, N: -1, Size: 1 << 50, SimLat: 3 * time.Millisecond},
+		{Err: "live: read on unknown handle", Retryable: true},
+		{Err: strings.Repeat("x", 4096)},
+	}
+	for i, in := range resps {
+		frame := encodeResponse(nil, &in)
+		out, err := decodeResponse(frame[4:])
+		if err != nil {
+			t.Fatalf("resp %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("resp %d: round trip mismatch", i)
+		}
+	}
+}
+
+// TestCodecRejectsBadFrames checks the defensive paths: wrong request
+// length, unknown verb, truncated response, oversized frame.
+func TestCodecRejectsBadFrames(t *testing.T) {
+	if _, _, err := decodeRequest(make([]byte, reqPayloadLen-1)); err == nil {
+		t.Error("short request frame accepted")
+	}
+	bad := make([]byte, reqPayloadLen)
+	bad[0] = byte(NumVerbs)
+	if _, _, err := decodeRequest(bad); err == nil {
+		t.Error("unknown verb accepted")
+	}
+	if _, err := decodeResponse(make([]byte, respFixedLen-1)); err == nil {
+		t.Error("short response frame accepted")
+	}
+	var in Response
+	frame := encodeResponse(nil, &in)
+	// Corrupt the length prefix beyond the reader's limit.
+	frame[0], frame[1], frame[2], frame[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := readFrame(strings.NewReader(string(frame)), maxRespPayload); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+// echoTransport is a test double standing in for the dispatcher behind a
+// TCPServer.
+type echoTransport struct {
+	fn func(Request, time.Duration) (Response, error)
+}
+
+func (e *echoTransport) Do(req Request, d time.Duration) (Response, error) { return e.fn(req, d) }
+func (e *echoTransport) Close() error                                      { return nil }
+
+// TestTCPLoopback runs requests through a real socket pair and checks the
+// fields survive, server-side errors surface as error replies, and a
+// server-side ErrDeadline maps back to the client's ErrDeadline.
+func TestTCPLoopback(t *testing.T) {
+	inner := &echoTransport{fn: func(req Request, d time.Duration) (Response, error) {
+		switch req.Verb {
+		case VerbOpen:
+			return Response{Handle: req.File + 1, Size: 4096, SimLat: time.Millisecond}, nil
+		case VerbRead:
+			return Response{}, ErrDeadline
+		case VerbWrite:
+			return Response{Err: "boom", Retryable: true}, nil
+		default:
+			return Response{N: req.Length}, nil
+		}
+	}}
+	srv, err := ServeTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp, err := cl.Do(Request{Verb: VerbOpen, File: 41}, time.Second)
+	if err != nil || resp.Handle != 42 || resp.Size != 4096 || resp.SimLat != time.Millisecond {
+		t.Fatalf("open over loopback: err=%v resp=%+v", err, resp)
+	}
+	if _, err := cl.Do(Request{Verb: VerbRead}, time.Second); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("server-side deadline: err=%v, want ErrDeadline", err)
+	}
+	resp, err = cl.Do(Request{Verb: VerbWrite}, time.Second)
+	if err != nil || resp.Err != "boom" || !resp.Retryable {
+		t.Fatalf("error reply: err=%v resp=%+v", err, resp)
+	}
+	// The connection survives all of the above: one more normal request.
+	resp, err = cl.Do(Request{Verb: VerbClose, Length: 9}, time.Second)
+	if err != nil || resp.N != 9 {
+		t.Fatalf("post-error request: err=%v resp=%+v", err, resp)
+	}
+}
+
+// TestTCPClientRedialsAfterServerClose checks the poison-and-redial path:
+// when the server drops connections, the next Do dials fresh instead of
+// failing forever.
+func TestTCPClientRedialsAfterServerClose(t *testing.T) {
+	inner := &echoTransport{fn: func(req Request, d time.Duration) (Response, error) {
+		return Response{N: req.Length}, nil
+	}}
+	srv, err := ServeTCP("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cl, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Do(Request{Length: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cl.Do(Request{Length: 2}, 200*time.Millisecond); err == nil {
+		t.Fatal("Do succeeded against a closed server")
+	}
+	srv2, err := ServeTCP(addr, inner)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	resp, err := cl.Do(Request{Length: 3}, time.Second)
+	if err != nil || resp.N != 3 {
+		t.Fatalf("redial after server restart: err=%v resp=%+v", err, resp)
+	}
+}

@@ -7,6 +7,11 @@ import (
 	"strings"
 )
 
+// PrometheusContentType is the Content-Type a scrape endpoint must declare
+// when serving WritePrometheus output (text exposition format version
+// 0.0.4). The live HTTP frontend sets it on /metrics responses.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // formatFloat renders a float deterministically: the shortest decimal that
 // round-trips, so identical values produce identical bytes everywhere.
 func formatFloat(v float64) string {

@@ -44,7 +44,14 @@ type Labels []Label
 // L is the Label constructor: L("client", "7").
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// String renders the set as {k="v",...}, or "" when empty.
+// String renders the set as {k="v",...}, or "" when empty. Label values
+// are escaped per the Prometheus text exposition format: backslash, double
+// quote and newline get a backslash escape, every other byte — including
+// tabs and other control characters, which the grammar permits raw — is
+// written as-is. For the plain alphanumeric values the simulators use this
+// matches Go's %q byte for byte, which is what keeps the golden dumps
+// stable; it diverges only on inputs %q would over-escape into sequences a
+// strict exposition-format parser rejects.
 func (ls Labels) String() string {
 	if len(ls) == 0 {
 		return ""
@@ -55,10 +62,31 @@ func (ls Labels) String() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		appendEscapedLabelValue(&b, l.Value)
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// appendEscapedLabelValue writes v with the three escapes the exposition
+// format defines for label values: \\ for backslash, \" for double quote,
+// \n for line feed.
+func appendEscapedLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 }
 
 // Desc is a metric family's self-description: everything docs/METRICS.md

@@ -10,11 +10,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Session is an in-progress profile collection. The zero value is
-// inert; Stop on it is a no-op.
+// inert; Stop on it is a no-op. Stop is safe to call concurrently: a
+// signal handler flushing profiles on termination may race the deferred
+// Stop on the main path, and exactly one of them does the work.
 type Session struct {
+	mu  sync.Mutex
 	cpu *os.File
 	mem *os.File
 }
@@ -61,9 +65,11 @@ func (s *Session) stopCPU() error {
 }
 
 // Stop finishes collection: the CPU profile is flushed and closed, and
-// the heap profile is written. Safe to call more than once; later calls
-// are no-ops.
+// the heap profile is written. Safe to call more than once and from
+// multiple goroutines; later calls are no-ops.
 func (s *Session) Stop() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	err := s.stopCPU()
 	if s.mem != nil {
 		f := s.mem

@@ -25,6 +25,15 @@ import (
 // indexed by configuration — independent of completion order — and any
 // replay error is reported with its configuration's name.
 func RunSweep(recs []trace.Record, cfgs []Config, workers int) ([]*Result, error) {
+	return RunSweepWith(recs, cfgs, workers, nil)
+}
+
+// RunSweepWith is RunSweep with a completion hook: onResult (when non-nil)
+// is called from the worker goroutine as each configuration finishes, with
+// the configuration index and its result. cmd/replay uses it to flush
+// completed configurations' metrics if the sweep is interrupted mid-run;
+// the hook must be safe for concurrent calls.
+func RunSweepWith(recs []trace.Record, cfgs []Config, workers int, onResult func(int, *Result)) ([]*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -41,6 +50,9 @@ func RunSweep(recs []trace.Record, cfgs []Config, workers int) ([]*Result, error
 			defer wg.Done()
 			for i := range jobs {
 				results[i], errs[i] = Run(cfgs[i], trace.NewSliceStream(recs))
+				if onResult != nil && errs[i] == nil {
+					onResult(i, results[i])
+				}
 			}
 		}()
 	}

@@ -1,0 +1,28 @@
+package sim
+
+// Clock is the scheduling seam between the virtual-time simulator and the
+// live wall-clock frontend. Code written against Clock — periodic daemons,
+// deadline timers, retry backoff — runs unchanged under both *Sim (virtual
+// time, single-threaded, deterministic) and internal/live.WallClock (real
+// time, paced by a dispatcher goroutine against the monotonic clock).
+//
+// The interface deliberately covers only scheduling. Driver-side methods
+// (Step, Run, RunUntil, NextAt) stay on *Sim: who advances time is exactly
+// what distinguishes the two implementations. Randomness also stays with
+// *Sim — a deterministic stream makes no sense on a clock whose event
+// times come from the operating system.
+type Clock interface {
+	// Now returns the current time as a duration from the clock's start.
+	Now() Time
+	// At schedules fn at absolute time t (clamped to now if already past
+	// on a wall clock; a programming-error panic on the simulator).
+	At(t Time, fn func())
+	// After schedules fn d after the current time; negative d is clamped.
+	After(d Time, fn func())
+	// Every schedules fn at start and then every period thereafter until
+	// the returned Ticker is stopped.
+	Every(start, period Time, fn func()) *Ticker
+}
+
+// The simulator is the reference Clock implementation.
+var _ Clock = (*Sim)(nil)
