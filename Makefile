@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke bench benchall experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke bench benchcheck benchbaseline benchall experiments experiments-diff section4 section5 clean
 
 all: check
 
@@ -10,10 +10,11 @@ all: check
 # and metrics-doc drift gates, tests, the race detector over the full
 # module, the fault-injection suite (twice under race, plus a
 # randomized-schedule smoke with a fixed seed), the parallel-executor
-# byte-identity gate, the steady-state allocation gates, and the
+# byte-identity gate, the steady-state allocation gates, the
 # live-service smoke (a real 5-second wall-clock soak with a mid-run
-# /metrics scrape).
-check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck soaksmoke
+# /metrics scrape), and the perf-regression gate against the committed
+# benchmark baselines.
+check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck soaksmoke benchcheck
 
 build:
 	$(GO) build ./...
@@ -65,18 +66,23 @@ faults:
 faultsmoke:
 	$(GO) test -short -run TestFaultSchedules ./internal/faults/check -faultseed 7
 
-# The parallel-vs-sequential byte-identity gate: the sharded executor
-# must produce identical reports and metric dumps at 1, 4 and 8 workers,
-# under the race detector (TestParallelMatchesSequential runs all three
-# worker counts as subtests).
+# The parallel-vs-sequential byte-identity gate: the channel-clock
+# executor must produce identical reports and metric dumps at 1, 4 and 8
+# workers, under the race detector (TestParallelMatchesSequential runs
+# all three worker counts as subtests, and TestDetermFuzzSmoke replays
+# the fuzz corpus's smallest seed at the same worker counts).
 scalecheck:
-	$(GO) test -race -run 'TestParallelMatchesSequential|TestDeterministicAcrossRuns' -count=1 ./internal/scale
+	$(GO) test -race -run 'TestParallelMatchesSequential|TestDeterministicAcrossRuns|TestDetermFuzzSmoke' -count=1 ./internal/scale
 
 # The allocation-regression gate: testing.AllocsPerRun pins the
 # scheduler's After/Every steady state and the netsim RPC round-trip at
-# exactly zero allocations per operation.
+# exactly zero allocations per operation, and the scale pool tests pin
+# the executor's message recycling (a warm-seeded run allocates zero
+# messages), which is what keeps the benchmarks' allocs/op at steady
+# state.
 allocscheck:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim ./internal/netsim
+	$(GO) test -run 'TestMessagePoolSteadyState|TestDrainMessagePoolsEmpties' -count=1 ./internal/scale
 
 # The live-service gate: a 2-second in-package mini-soak under the race
 # detector (the wall-clock dispatcher, agent fleet and live exporter are
@@ -87,22 +93,50 @@ soaksmoke:
 	$(GO) test -run TestSoakSmoke -count=1 ./cmd/serve
 
 # The scale and recovery macro benchmarks, with machine-readable output:
-# BENCH_scale.json records name, ns/op, allocs, clients and shards per
-# benchmark plus the derived shards=8-over-shards=1 wall-clock speedup,
-# so the perf trajectory is tracked from PR 4 onward. The second block
+# BENCH_scale.json records name, ns/op, allocs, clients, shards and
+# workers per benchmark plus two derived wall-clock speedups — the
+# shards=8-over-shards=1 sharding payoff and the workers=8-over-workers=1
+# multi-core payoff of the channel-clock executor — and a vs_baseline
+# section against the committed BENCH_scale_baseline.json. Each run also
+# appends one line to the BENCH_history.jsonl perf log. The second block
 # runs the simulation-core micro benchmarks and the sharded-replay macro
 # benchmark and writes BENCH_simcore.json, including a vs_baseline
 # section against the committed pre-optimization numbers.
 bench:
-	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -run '^$$' \
+	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleWorkers|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -count=3 -run '^$$' \
 		./internal/scale ./internal/faults/check | tee bench_output.txt
-	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_scale.json
+	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline BENCH_scale_baseline.json -history BENCH_history.jsonl -o BENCH_scale.json
 	$(GO) test -bench='BenchmarkEventThroughput|BenchmarkHeapChurn|BenchmarkSimCore' -benchmem -run '^$$' \
 		./internal/sim | tee bench_simcore_output.txt
 	$(GO) test -bench=BenchmarkShardedReplay -benchmem -benchtime=1x -run '^$$' \
 		./internal/replay | tee -a bench_simcore_output.txt
 	$(GO) run ./cmd/benchjson -in bench_simcore_output.txt -baseline BENCH_simcore_baseline.json -o BENCH_simcore.json
 	$(GO) run ./cmd/serve -clients 8 -rate 100 -duration 5s -bench-json BENCH_live.json
+
+# Shared recipe for the perf-regression gate: a quick benchstat-style
+# sweep (median of -count runs) over the executor-dominated scale
+# benchmark and the simulation-core micro benchmarks.
+define BENCHCHECK_RUN
+	$(GO) test -bench='BenchmarkScaleBarrier' -benchmem -benchtime=3x -count=5 -run '^$$' \
+		./internal/scale | tee benchcheck_output.txt
+	$(GO) test -bench='BenchmarkEventThroughput|BenchmarkHeapChurn|BenchmarkSimCore$$' -benchmem -benchtime=0.3s -count=3 -run '^$$' \
+		./internal/sim | tee -a benchcheck_output.txt
+endef
+
+# The perf-regression gate: rerun the quick benchmark sweep and fail if
+# any median ns/op regresses more than 15% against the committed
+# BENCH_check_baseline.json. Each run appends a line to
+# BENCH_history.jsonl. Refresh the baseline with `make benchbaseline`
+# after an intentional perf change (on the machine that enforces the
+# gate — baselines are host-specific).
+benchcheck:
+	$(BENCHCHECK_RUN)
+	$(GO) run ./cmd/benchjson -in benchcheck_output.txt -baseline BENCH_check_baseline.json -gate 0.85 -history BENCH_history.jsonl -o BENCH_check.json
+
+# Re-baseline the perf gate from the current tree.
+benchbaseline:
+	$(BENCHCHECK_RUN)
+	$(GO) run ./cmd/benchjson -in benchcheck_output.txt -o BENCH_check_baseline.json
 
 # One iteration of every table/figure benchmark (reduced scale).
 benchall:
@@ -125,4 +159,4 @@ section5:
 	$(GO) run ./cmd/experiments -exp section5 -days 2 | tee results_section5.txt
 
 clean:
-	rm -f results_section4.txt results_section5.txt test_output.txt bench_output.txt bench_simcore_output.txt
+	rm -f results_section4.txt results_section5.txt test_output.txt bench_output.txt bench_simcore_output.txt benchcheck_output.txt BENCH_check.json

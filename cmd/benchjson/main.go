@@ -2,17 +2,24 @@
 // JSON so the performance trajectory can be tracked across commits.
 //
 // It reads benchmark output on stdin (or -in), keeps every benchmark line,
-// parses the /clients=N/shards=N name components the scale benchmarks
-// embed, and derives the wall-clock speedup of the highest shard count
-// over shards=1 for each client population:
+// parses the /clients=N/shards=N/workers=N name components the scale
+// benchmarks embed, aggregates repeated runs of the same benchmark (from
+// `-count=N`) by median, and derives two wall-clock speedups: the highest
+// shard count over shards=1 per client population, and the highest worker
+// count over workers=1 per (benchmark, clients, shards) group:
 //
-//	go test -bench='ScaleEngine|RecoveryStorm' -benchmem ./... | benchjson -o BENCH_scale.json
+//	go test -bench='ScaleEngine|ScaleWorkers' -benchmem -count=3 ./... | benchjson -o BENCH_scale.json
 //
 // With -baseline pointing at an earlier benchjson output, a vs_baseline
 // section records the ns/op speedup and the allocs/op before and after
-// for every benchmark the two files share:
+// for every benchmark the two files share. -gate turns the comparison
+// into a regression gate: if any shared benchmark's speedup falls below
+// the threshold, benchjson exits nonzero after writing its output:
 //
-//	benchjson -in bench_output.txt -baseline BENCH_simcore_baseline.json -o BENCH_simcore.json
+//	benchjson -in bench_output.txt -baseline BENCH_scale_baseline.json -gate 0.85 -o BENCH_scale.json
+//
+// -history appends one JSON line per invocation to the named file, so the
+// repo accumulates an append-only perf log across commits.
 package main
 
 import (
@@ -22,11 +29,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Entry is one benchmark result line.
+// Entry is one benchmark result. When the input holds several runs of the
+// same benchmark (go test -count=N), the entry is the per-metric median
+// and Runs records the sample count.
 type Entry struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
@@ -35,6 +46,8 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	Clients     int     `json:"clients,omitempty"`
 	Shards      int     `json:"shards,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Runs        int     `json:"runs,omitempty"`
 }
 
 // Speedup compares two shard counts of the same benchmark and community.
@@ -44,6 +57,18 @@ type Speedup struct {
 	Shards     int     `json:"shards"`
 	OverShards int     `json:"over_shards"`
 	WallClock  float64 `json:"wall_clock_speedup"`
+}
+
+// WorkerSpeedup compares two worker counts of the same benchmark,
+// community and shard count — the executor's multi-core payoff, since
+// rounds and exchanges are identical at every worker count.
+type WorkerSpeedup struct {
+	Benchmark   string  `json:"benchmark"`
+	Clients     int     `json:"clients,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Workers     int     `json:"workers"`
+	OverWorkers int     `json:"over_workers"`
+	WallClock   float64 `json:"wall_clock_speedup"`
 }
 
 // Delta compares one benchmark against the same-named benchmark in a
@@ -60,17 +85,24 @@ type Delta struct {
 
 // Output is the file layout.
 type Output struct {
-	Benchmarks []Entry   `json:"benchmarks"`
-	Speedups   []Speedup `json:"scale_speedups,omitempty"`
-	Baseline   string    `json:"baseline,omitempty"`
-	VsBaseline []Delta   `json:"vs_baseline,omitempty"`
+	Benchmarks     []Entry         `json:"benchmarks"`
+	Speedups       []Speedup       `json:"scale_speedups,omitempty"`
+	WorkerSpeedups []WorkerSpeedup `json:"worker_speedups,omitempty"`
+	Baseline       string          `json:"baseline,omitempty"`
+	VsBaseline     []Delta         `json:"vs_baseline,omitempty"`
 }
 
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("o", "", "JSON output file (default stdout)")
 	baseline := flag.String("baseline", "", "earlier benchjson output to compare against (adds a vs_baseline section)")
+	gate := flag.Float64("gate", 0, "fail (exit 1) if any vs_baseline speedup falls below this threshold (requires -baseline)")
+	history := flag.String("history", "", "append one JSON line summarizing this run to the named file")
 	flag.Parse()
+
+	if *gate != 0 && *baseline == "" {
+		fatal(fmt.Errorf("-gate requires -baseline"))
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -97,12 +129,23 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(o.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+	if *history != "" {
+		if err := o.appendHistory(*history, *out, time.Now().UTC()); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(o.Benchmarks), *out)
+	if *gate != 0 {
+		if err := o.checkGate(*gate); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %.2f passed for %d benchmarks\n", *gate, len(o.VsBaseline))
+	}
 }
 
 func fatal(err error) {
@@ -110,9 +153,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// Convert parses benchmark output and derives the scale speedups.
+// Convert parses benchmark output, merges -count repetitions by median,
+// and derives the scale and worker speedups.
 func Convert(r io.Reader) (*Output, error) {
-	o := &Output{}
+	var raw []Entry
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -121,17 +165,68 @@ func Convert(r io.Reader) (*Output, error) {
 		}
 		e, ok := parseLine(line)
 		if ok {
-			o.Benchmarks = append(o.Benchmarks, e)
+			raw = append(raw, e)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(o.Benchmarks) == 0 {
+	if len(raw) == 0 {
 		return nil, fmt.Errorf("no benchmark lines in input")
 	}
+	o := &Output{Benchmarks: aggregate(raw)}
 	o.Speedups = deriveSpeedups(o.Benchmarks)
+	o.WorkerSpeedups = deriveWorkerSpeedups(o.Benchmarks)
 	return o, nil
+}
+
+// aggregate merges repeated runs of the same benchmark name into one
+// entry per name, taking the median of each metric (benchstat-style, so
+// a single outlier run cannot trip the regression gate). Order follows
+// first appearance; iterations are summed across runs.
+func aggregate(raw []Entry) []Entry {
+	groups := map[string][]Entry{}
+	var order []string
+	for _, e := range raw {
+		if _, seen := groups[e.Name]; !seen {
+			order = append(order, e.Name)
+		}
+		groups[e.Name] = append(groups[e.Name], e)
+	}
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		e := g[0]
+		if len(g) > 1 {
+			e.Runs = len(g)
+			e.Iterations = 0
+			ns := make([]float64, len(g))
+			bytes := make([]float64, len(g))
+			allocs := make([]float64, len(g))
+			for i, s := range g {
+				e.Iterations += s.Iterations
+				ns[i] = s.NsPerOp
+				bytes[i] = float64(s.BytesPerOp)
+				allocs[i] = float64(s.AllocsPerOp)
+			}
+			e.NsPerOp = median(ns)
+			e.BytesPerOp = int64(median(bytes))
+			e.AllocsPerOp = int64(median(allocs))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// median of a non-empty sample set; the mean of the two middle values
+// for even counts.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
 }
 
 // compareBaseline reads an earlier benchjson output and records, for
@@ -167,6 +262,70 @@ func (o *Output) compareBaseline(path string) error {
 	}
 	if len(o.VsBaseline) == 0 {
 		return fmt.Errorf("-baseline %s: no benchmark names in common", path)
+	}
+	return nil
+}
+
+// checkGate fails when any vs_baseline speedup is below min — e.g. with
+// -gate 0.85, a benchmark more than 15% slower than its committed
+// baseline fails the build.
+func (o *Output) checkGate(min float64) error {
+	var bad []string
+	for _, d := range o.VsBaseline {
+		if d.Speedup < min {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (speedup %.2f < gate %.2f)",
+				d.Name, d.NsPerOp, d.BaselineNsPerOp, d.Speedup, min))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("perf regression gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// historyLine is one appended record of the perf log: enough to replot
+// the trajectory without the full per-run files.
+type historyLine struct {
+	Time           string             `json:"time"`
+	Source         string             `json:"source"`
+	NsPerOp        map[string]float64 `json:"ns_per_op"`
+	AllocsPerOp    map[string]int64   `json:"allocs_per_op,omitempty"`
+	Speedups       []Speedup          `json:"scale_speedups,omitempty"`
+	WorkerSpeedups []WorkerSpeedup    `json:"worker_speedups,omitempty"`
+}
+
+// appendHistory appends one JSON line to path (creating it if needed).
+func (o *Output) appendHistory(path, source string, now time.Time) error {
+	if source == "" {
+		source = "stdin"
+	}
+	h := historyLine{
+		Time:           now.Format(time.RFC3339),
+		Source:         source,
+		NsPerOp:        make(map[string]float64, len(o.Benchmarks)),
+		Speedups:       o.Speedups,
+		WorkerSpeedups: o.WorkerSpeedups,
+	}
+	for _, e := range o.Benchmarks {
+		h.NsPerOp[e.Name] = e.NsPerOp
+		if e.AllocsPerOp != 0 {
+			if h.AllocsPerOp == nil {
+				h.AllocsPerOp = map[string]int64{}
+			}
+			h.AllocsPerOp[e.Name] = e.AllocsPerOp
+		}
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("-history: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("-history: %w", err)
 	}
 	return nil
 }
@@ -215,6 +374,9 @@ func parseLine(line string) (Entry, bool) {
 		if v, ok := strings.CutPrefix(part, "shards="); ok {
 			e.Shards, _ = strconv.Atoi(v)
 		}
+		if v, ok := strings.CutPrefix(part, "workers="); ok {
+			e.Workers, _ = strconv.Atoi(v)
+		}
 	}
 	return e, true
 }
@@ -229,7 +391,7 @@ func deriveSpeedups(entries []Entry) []Speedup {
 	groups := map[key][]Entry{}
 	var order []key
 	for _, e := range entries {
-		if e.Shards == 0 {
+		if e.Shards == 0 || e.Workers != 0 {
 			continue
 		}
 		k := key{strings.SplitN(e.Name, "/", 2)[0], e.Clients}
@@ -258,6 +420,53 @@ func deriveSpeedups(entries []Entry) []Speedup {
 			Shards:     best.Shards,
 			OverShards: 1,
 			WallClock:  base.NsPerOp / best.NsPerOp,
+		})
+	}
+	return out
+}
+
+// deriveWorkerSpeedups computes, per (benchmark root, clients, shards)
+// group, the wall-clock speedup of the highest worker count over
+// workers=1.
+func deriveWorkerSpeedups(entries []Entry) []WorkerSpeedup {
+	type key struct {
+		root    string
+		clients int
+		shards  int
+	}
+	groups := map[key][]Entry{}
+	var order []key
+	for _, e := range entries {
+		if e.Workers == 0 {
+			continue
+		}
+		k := key{strings.SplitN(e.Name, "/", 2)[0], e.Clients, e.Shards}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	var out []WorkerSpeedup
+	for _, k := range order {
+		var base, best *Entry
+		for i := range groups[k] {
+			e := &groups[k][i]
+			if e.Workers == 1 {
+				base = e
+			} else if best == nil || e.Workers > best.Workers {
+				best = e
+			}
+		}
+		if base == nil || best == nil {
+			continue
+		}
+		out = append(out, WorkerSpeedup{
+			Benchmark:   k.root,
+			Clients:     k.clients,
+			Shards:      k.shards,
+			Workers:     best.Workers,
+			OverWorkers: 1,
+			WallClock:   base.NsPerOp / best.NsPerOp,
 		})
 	}
 	return out

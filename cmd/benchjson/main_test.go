@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -51,6 +54,66 @@ func TestConvertRejectsEmpty(t *testing.T) {
 	}
 }
 
+func TestConvertWorkers(t *testing.T) {
+	const in = `
+BenchmarkScaleWorkers/clients=1000/shards=8/workers=1-4  1  4000000000 ns/op
+BenchmarkScaleWorkers/clients=1000/shards=8/workers=8-4  1  1000000000 ns/op
+`
+	o, err := Convert(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Benchmarks[0].Workers != 1 || o.Benchmarks[1].Workers != 8 {
+		t.Errorf("workers= parsed wrong: %+v", o.Benchmarks)
+	}
+	// Worker-sweep rows must not masquerade as shard speedups.
+	if len(o.Speedups) != 0 {
+		t.Errorf("worker sweep produced shard speedups: %+v", o.Speedups)
+	}
+	if len(o.WorkerSpeedups) != 1 {
+		t.Fatalf("derived %d worker speedups, want 1: %+v", len(o.WorkerSpeedups), o.WorkerSpeedups)
+	}
+	w := o.WorkerSpeedups[0]
+	if w.Benchmark != "BenchmarkScaleWorkers" || w.Clients != 1000 || w.Shards != 8 ||
+		w.Workers != 8 || w.OverWorkers != 1 || w.WallClock != 4.0 {
+		t.Errorf("worker speedup derived wrong: %+v", w)
+	}
+}
+
+// TestAggregateMedian pins the -count=N behaviour: repeated runs of one
+// benchmark collapse to a single median entry, so one outlier run cannot
+// trip the regression gate.
+func TestAggregateMedian(t *testing.T) {
+	const in = `
+BenchmarkHot-4  10  100.0 ns/op  64 B/op  2 allocs/op
+BenchmarkHot-4  10  900.0 ns/op  64 B/op  2 allocs/op
+BenchmarkHot-4  10  110.0 ns/op  80 B/op  4 allocs/op
+BenchmarkCold-4  1  50.0 ns/op
+`
+	o, err := Convert(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Benchmarks) != 2 {
+		t.Fatalf("aggregated to %d benchmarks, want 2: %+v", len(o.Benchmarks), o.Benchmarks)
+	}
+	hot := o.Benchmarks[0]
+	if hot.Name != "BenchmarkHot" || hot.Runs != 3 || hot.Iterations != 30 {
+		t.Errorf("aggregation bookkeeping wrong: %+v", hot)
+	}
+	if hot.NsPerOp != 110.0 || hot.BytesPerOp != 64 || hot.AllocsPerOp != 2 {
+		t.Errorf("median wrong (outlier leaked in): %+v", hot)
+	}
+	cold := o.Benchmarks[1]
+	if cold.Runs != 0 || cold.NsPerOp != 50.0 {
+		t.Errorf("single-run entry altered by aggregation: %+v", cold)
+	}
+	// Even sample count: mean of the two middle values.
+	if m := median([]float64{1, 2, 10, 100}); m != 6 {
+		t.Errorf("even-count median = %v, want 6", m)
+	}
+}
+
 func TestCompareBaseline(t *testing.T) {
 	const baseline = `{
   "benchmarks": [
@@ -90,5 +153,73 @@ func TestCompareBaseline(t *testing.T) {
 	// A missing baseline file fails fast.
 	if err := o.compareBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("missing baseline file accepted")
+	}
+}
+
+// TestCheckGate pins the regression-gate arithmetic: a benchmark 2x
+// faster passes any sane gate; one 20% slower fails a 0.85 gate and the
+// error names the offender.
+func TestCheckGate(t *testing.T) {
+	o := &Output{VsBaseline: []Delta{
+		{Name: "BenchmarkFast", BaselineNsPerOp: 100, NsPerOp: 50, Speedup: 2.0},
+		{Name: "BenchmarkSlow", BaselineNsPerOp: 100, NsPerOp: 125, Speedup: 0.8},
+	}}
+	err := o.checkGate(0.85)
+	if err == nil {
+		t.Fatal("20% regression passed a 0.85 gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSlow") || strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Errorf("gate error names the wrong benchmarks: %v", err)
+	}
+	o.VsBaseline = o.VsBaseline[:1]
+	if err := o.checkGate(0.85); err != nil {
+		t.Errorf("pure speedup failed the gate: %v", err)
+	}
+}
+
+// TestAppendHistory pins the perf-log format: one JSON object per line,
+// appended, carrying the per-benchmark ns/op and the derived speedups.
+func TestAppendHistory(t *testing.T) {
+	o, err := Convert(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	when := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if err := o.appendHistory(path, "BENCH_scale.json", when); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.appendHistory(path, "BENCH_scale.json", when.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []historyLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var h historyLine
+		if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+			t.Fatalf("history line is not valid JSON: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, h)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("appended %d lines, want 2", len(lines))
+	}
+	h := lines[0]
+	if h.Time != "2026-08-08T12:00:00Z" || h.Source != "BENCH_scale.json" {
+		t.Errorf("history metadata wrong: %+v", h)
+	}
+	if h.NsPerOp["BenchmarkScaleEngine/clients=1000/shards=8"] != 8e8 {
+		t.Errorf("history ns_per_op wrong: %+v", h.NsPerOp)
+	}
+	if len(h.Speedups) != 1 || h.Speedups[0].WallClock != 4.0 {
+		t.Errorf("history speedups wrong: %+v", h.Speedups)
+	}
+	if lines[1].Time != "2026-08-08T13:00:00Z" {
+		t.Errorf("second line not appended after the first: %+v", lines[1])
 	}
 }

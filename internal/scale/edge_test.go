@@ -1,0 +1,167 @@
+package scale_test
+
+import (
+	"testing"
+	"time"
+
+	"spritefs/internal/scale"
+	"spritefs/internal/workload"
+)
+
+// chattyConfig is a small topology with enough remote traffic that every
+// pricing edge case actually moves messages.
+func chattyConfig(seed int64, shards int) scale.Config {
+	cfg := testConfig(seed, shards)
+	cfg.Remote = scale.DefaultRemote()
+	cfg.Remote.OpsPerClientHour = 300
+	return cfg
+}
+
+// assertConserved checks that the remote-traffic flow balanced: every
+// issued operation was served and completed, so nothing deadlocked or was
+// delivered out of its lookahead window.
+func assertConserved(t *testing.T, e *scale.Engine) {
+	t.Helper()
+	rep := e.Report()
+	var issued, served, replies int64
+	for _, s := range rep.PerShard {
+		issued += s.Remote.OpsIssued
+		served += s.Remote.OpsServed
+		replies += s.Remote.Replies
+	}
+	if issued == 0 {
+		t.Fatal("no remote operations issued; the test exercises nothing")
+	}
+	if served != issued || replies != issued {
+		t.Errorf("flow not conserved: issued %d, served %d, replied %d (undelivered %d)",
+			issued, served, replies, rep.Exec.Undelivered)
+	}
+}
+
+// assertExecutorInvariant runs the same config sequentially and at
+// several worker counts and requires byte-identical output.
+func assertExecutorInvariant(t *testing.T, cfg scale.Config, horizon time.Duration) *scale.Engine {
+	t.Helper()
+	ref := scale.MustNew(cfg)
+	ref.Run(scale.RunOptions{Horizon: horizon})
+	want := fingerprint(t, ref)
+	for _, w := range []int{1, 4} {
+		e := scale.MustNew(cfg)
+		e.Run(scale.RunOptions{Horizon: horizon, Parallel: true, Workers: w})
+		if got := fingerprint(t, e); got != want {
+			t.Errorf("workers=%d output differs from sequential\n%s", w, firstDiff(want, got))
+		}
+	}
+	return ref
+}
+
+// TestZeroLatencyLink prices one directed link at exactly zero: the
+// channel clock on that link offers no lookahead, so the executor must
+// fall back to strictly-bounded advances without deadlocking or
+// reordering delivery.
+func TestZeroLatencyLink(t *testing.T) {
+	cfg := chattyConfig(21, 3)
+	cfg.Router.Latency = time.Millisecond
+	cfg.Router.BandwidthBps = 12.5e6
+	cfg.Router.LinkLatency = func(from, to int) time.Duration {
+		if from == 0 && to == 1 {
+			return 0
+		}
+		return time.Millisecond
+	}
+	e := assertExecutorInvariant(t, cfg, 30*time.Minute)
+	assertConserved(t, e)
+}
+
+// TestAllLinksZeroLatency is the degenerate extreme: every link offers
+// zero lookahead, so the executor's only safe mode is the serialized
+// stall-breaker. The run must still terminate, conserve traffic, and be
+// byte-identical at every worker count.
+func TestAllLinksZeroLatency(t *testing.T) {
+	cfg := chattyConfig(22, 3)
+	cfg.Router.Latency = time.Millisecond // default floor; every link overridden
+	cfg.Router.BandwidthBps = 12.5e6
+	cfg.Router.LinkLatency = func(from, to int) time.Duration { return 0 }
+	e := assertExecutorInvariant(t, cfg, 20*time.Minute)
+	assertConserved(t, e)
+	if e.Report().Exec.Rescues == 0 {
+		t.Error("all-zero-latency topology ran without stall rescues; the stall-breaker was not exercised")
+	}
+}
+
+// TestSubTickLinkLatency prices links far below the timer wheel's ~4.2ms
+// bucket resolution: event delivery must stay exact (the wheel only
+// batches recurring daemons), so lookahead windows much smaller than a
+// tick cannot reorder or lose messages.
+func TestSubTickLinkLatency(t *testing.T) {
+	cfg := chattyConfig(23, 3)
+	cfg.Router.Latency = 50 * time.Microsecond
+	cfg.Router.BandwidthBps = 1e9
+	e := assertExecutorInvariant(t, cfg, 30*time.Minute)
+	assertConserved(t, e)
+}
+
+// TestSingleShardDegenerate pins the one-shard topology: no links, no
+// lookahead to compute, no remote traffic — the executor must collapse
+// to a handful of whole-phase rounds rather than deadlock on an empty
+// link set.
+func TestSingleShardDegenerate(t *testing.T) {
+	p := workload.Default(24)
+	p.NumClients = 8
+	p.DailyUsers = 6
+	p.OccasionalUsers = 1
+	p.BigSimUsers = 1
+	cfg := scale.Config{Base: p, Shards: 1, ServersPerShard: 2}
+	e := scale.MustNew(cfg)
+	st := e.Run(scale.RunOptions{Horizon: 30 * time.Minute, Parallel: true})
+	if st.Exec.Routed != 0 || st.Exec.NullAdvances != 0 || st.Exec.Rescues != 0 {
+		t.Errorf("single-shard run touched the router: %+v", st.Exec)
+	}
+	if st.Exec.Rounds > 2 {
+		t.Errorf("single-shard run took %d rounds; want at most one per phase", st.Exec.Rounds)
+	}
+}
+
+// TestNegativeLinkLatencyRejected pins validation of per-link pricing.
+func TestNegativeLinkLatencyRejected(t *testing.T) {
+	cfg := testConfig(25, 2)
+	cfg.Router.Latency = time.Millisecond
+	cfg.Router.BandwidthBps = 12.5e6
+	cfg.Router.LinkLatency = func(from, to int) time.Duration { return -time.Microsecond }
+	if _, err := scale.New(cfg); err == nil {
+		t.Error("negative per-link latency accepted")
+	}
+}
+
+// TestHeterogeneousLinksBeatUniformBound pins the point of per-link
+// clocks: with one slow link and otherwise fast ones, shards that only
+// hear from fast links must not be throttled to the slow link's pace.
+// The deterministic rounds counter is the executor-efficiency measure:
+// the same traffic under per-link clocks must need no more rounds than
+// under a uniform worst-case latency, and the advance histogram must
+// show wider windows.
+func TestHeterogeneousLinksBeatUniformBound(t *testing.T) {
+	base := chattyConfig(26, 4)
+	base.Router.Latency = time.Millisecond
+	base.Router.BandwidthBps = 12.5e6
+
+	uniform := base
+	het := base
+	het.Router.LinkLatency = func(from, to int) time.Duration {
+		if from == 0 || to == 0 {
+			return time.Millisecond
+		}
+		return 20 * time.Millisecond // shards 1..3 are mutually distant
+	}
+
+	eu := scale.MustNew(uniform)
+	su := eu.Run(scale.RunOptions{Horizon: 30 * time.Minute})
+	eh := scale.MustNew(het)
+	sh := eh.Run(scale.RunOptions{Horizon: 30 * time.Minute})
+
+	if sh.Exec.Rounds >= su.Exec.Rounds {
+		t.Errorf("heterogeneous links took %d rounds, uniform floor took %d; per-link lookahead bought nothing",
+			sh.Exec.Rounds, su.Exec.Rounds)
+	}
+	assertConserved(t, eh)
+}

@@ -13,25 +13,38 @@ import (
 	"spritefs/internal/workload"
 )
 
-// ExecStats counts what the epoch executor did. Every field is a pure
-// function of the topology and seeds — wall-clock time lives in RunStats,
-// not here — so ExecStats participates in the byte-identity guarantee.
+// ExecStats counts what the channel-clock executor did. Every field is a
+// pure function of the topology and seeds — wall-clock time lives in
+// RunStats, not here — so ExecStats participates in the byte-identity
+// guarantee.
 type ExecStats struct {
-	// Epochs is the number of barrier rounds executed.
-	Epochs int64
-	// Routed is the number of cross-shard messages exchanged at barriers.
+	// Rounds is the number of channel-clock synchronization rounds: one
+	// bound computation, shard advance and message exchange each.
+	Rounds int64
+	// Routed is the number of cross-shard messages exchanged.
 	Routed int64
 	// RoutedBytes is their total backbone payload.
 	RoutedBytes int64
 	// Undelivered counts messages still in flight when the drain window
 	// closed (they arrive after the simulation's end and are dropped).
 	Undelivered int64
+	// NullAdvances counts per-link channel-clock advances that carried no
+	// payload message — the protocol's null messages. They are what keeps
+	// idle links from stalling the pipeline.
+	NullAdvances int64
+	// Rescues counts stall-breaker rounds: when zero-latency links leave
+	// the executor no lookahead at all, the globally earliest shard is
+	// serialized one event forward to restore progress.
+	Rescues int64
+	// MsgAllocs counts cross-shard message allocations that missed the
+	// per-shard free lists (steady state recycles everything).
+	MsgAllocs int64
 }
 
 // RunOptions selects the executor. The default (zero value) is the
-// sequential executor: every epoch runs its shards in index order on the
-// calling goroutine. Parallel fans each epoch out over Workers goroutines
-// with a barrier at every epoch boundary; reports and metric dumps are
+// sequential executor: every round runs its shards in index order on the
+// calling goroutine. Parallel fans each round out over Workers goroutines
+// with an exchange at every round boundary; reports and metric dumps are
 // byte-identical either way.
 type RunOptions struct {
 	// Horizon is the measured duration (0 = one hour). The clock then
@@ -68,6 +81,22 @@ type Engine struct {
 	now     sim.Time
 	horizon time.Duration
 	ran     bool
+
+	// Executor scratch, sized at Run so rounds allocate nothing.
+	dist     []sim.Time   // [n*n] cheapest multi-hop latency (diag 0)
+	es       []sim.Time   // per-shard earliest-send snapshot
+	floor    []sim.Time   // per-shard future-send infimum (fixpoint over dist)
+	prevCC   []sim.Time   // [n*n] last advertised per-link channel clock
+	sentLink []bool       // [n*n] links that carried payload this round
+	byDest   [][]*Message // per-destination delivery batches
+	jobs     []shardJob
+	// advance records per-shard virtual-time advance widths, one sample
+	// per shard per round it ran; a deterministic measure of how much
+	// lookahead the channel clocks actually bought.
+	advance stats.Welford
+	// minLook is the smallest directed-link latency — the tightest
+	// lookahead anywhere in the topology.
+	minLook time.Duration
 }
 
 // New instantiates the topology: the community is scaled to Factor× the
@@ -97,6 +126,9 @@ func New(cfg Config) (*Engine, error) {
 			rng: sim.NewRand(p.Seed ^ remoteSeedSalt),
 			eng: e,
 		}
+		if i < len(cfg.SeedMessages) {
+			sh.msgFree = cfg.SeedMessages[i]
+		}
 		e.Shards = append(e.Shards, sh)
 	}
 	e.Placement = buildPlacement(e.Shards)
@@ -123,10 +155,33 @@ func (e *Engine) Clients() int {
 	return n
 }
 
-// epochJob is one shard's slice of an epoch.
-type epochJob struct {
+// DrainMessagePools removes and returns every shard's recycled-message
+// free list, entry i from shard i. Feeding the result to a subsequent
+// engine's Config.SeedMessages lets benchmarks measure the executor's
+// steady-state allocation behavior across engine lifetimes.
+func (e *Engine) DrainMessagePools() [][]*Message {
+	pools := make([][]*Message, len(e.Shards))
+	for i, sh := range e.Shards {
+		pools[i] = sh.msgFree
+		sh.msgFree = nil
+	}
+	return pools
+}
+
+// shardJob is one shard's slice of a round: advance to the bound its
+// inbound channel clocks permit.
+type shardJob struct {
 	sh  *Shard
 	end sim.Time
+}
+
+// satAdd adds a non-negative delay to a virtual time, saturating at the
+// never sentinel instead of overflowing.
+func satAdd(t sim.Time, d time.Duration) sim.Time {
+	if t >= never-d {
+		return never
+	}
+	return t + d
 }
 
 // Run executes the topology to opts.Horizon plus the drain window and
@@ -154,89 +209,190 @@ func (e *Engine) Run(opts RunOptions) RunStats {
 	}
 
 	start := time.Now()
+	e.initExecutor()
 	for _, sh := range e.Shards {
 		sh.C.Start(horizon)
 		sh.startRemote(horizon)
 	}
 
-	var jobs chan epochJob
+	var jobsCh chan shardJob
 	var done chan struct{}
 	if workers > 0 {
-		jobs = make(chan epochJob, len(e.Shards))
+		jobsCh = make(chan shardJob, len(e.Shards))
 		done = make(chan struct{}, len(e.Shards))
 		for w := 0; w < workers; w++ {
 			go func() {
-				for j := range jobs {
-					j.sh.runEpoch(j.end)
+				for j := range jobsCh {
+					j.sh.advanceTo(j.end)
 					done <- struct{}{}
 				}
 			}()
 		}
-		defer close(jobs)
+		defer close(jobsCh)
 	}
-	round := func(end sim.Time) {
-		if workers > 0 {
-			for _, sh := range e.Shards {
-				jobs <- epochJob{sh, end}
+	run := func(jobs []shardJob) {
+		if workers > 0 && len(jobs) > 1 {
+			for _, j := range jobs {
+				jobsCh <- j
 			}
-			for range e.Shards {
+			for range jobs {
 				<-done
 			}
 		} else {
-			for _, sh := range e.Shards {
-				sh.runEpoch(end)
+			for _, j := range jobs {
+				j.sh.advanceTo(j.end)
 			}
 		}
-		e.barrier()
 	}
 
 	// Phase 1: the measured window.
-	e.runPhase(horizon, round)
+	e.runPhase(horizon, run)
 	// Phase 2: daemons and samplers stop at the horizon, exactly as in a
 	// single-segment run, then in-flight work drains.
 	for _, sh := range e.Shards {
 		sh.C.Finish()
 	}
-	e.runPhase(horizon+cluster.DrainTime, round)
+	e.runPhase(horizon+cluster.DrainTime, run)
 	for _, sh := range e.Shards {
 		e.exec.Undelivered += int64(len(sh.inbox))
+		e.exec.MsgAllocs += sh.msgAllocs
 	}
 	return RunStats{Wall: time.Since(start), Workers: workers, Exec: e.exec}
 }
 
-// runPhase executes epochs until no shard has work at or before `until`,
-// then aligns every shard's clock to exactly `until`.
+// initExecutor sizes the per-round scratch and precomputes the all-pairs
+// cheapest-latency matrix the channel clocks relax over. A future send
+// can be a reply at the end of a request chain, so the safe lower bound
+// on a link is the cheapest multi-hop path, not the direct latency —
+// Floyd-Warshall over the link matrix covers topologies where a relay
+// path undercuts a direct link.
+func (e *Engine) initExecutor() {
+	n := len(e.Shards)
+	e.es = make([]sim.Time, n)
+	e.floor = make([]sim.Time, n)
+	e.prevCC = make([]sim.Time, n*n)
+	e.sentLink = make([]bool, n*n)
+	e.byDest = make([][]*Message, n)
+	e.jobs = make([]shardJob, 0, n)
+
+	e.dist = make([]sim.Time, n*n)
+	e.minLook = 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			l := e.Router.MinLatency(i, j)
+			e.dist[i*n+j] = sim.Time(l)
+			if e.minLook == 0 || l < e.minLook {
+				e.minLook = l
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			dik := e.dist[i*n+k]
+			for j := 0; j < n; j++ {
+				if j == k || i == j {
+					continue
+				}
+				if d := satAdd(dik, e.dist[k*n+j]); d < e.dist[i*n+j] {
+					e.dist[i*n+j] = d
+				}
+			}
+		}
+	}
+}
+
+// runPhase executes channel-clock rounds until no shard has work at or
+// before `until`, then aligns every shard's clock to exactly `until`.
 //
-// The epoch boundary is conservative but not fixed-width: a shard can emit
-// a cross-shard message only when its remote generator fires or when it
-// serves an inbound request, and both of those next occurrence times are
-// known ahead of running. Any message sent at or after bound arrives at or
-// after bound+lookahead, so every shard may safely run to that point. When
-// no shard can ever send (one shard, remote traffic disabled, generators
-// past the horizon) the phase collapses to a single epoch.
-func (e *Engine) runPhase(until sim.Time, round func(end sim.Time)) {
-	lookahead := e.Router.Lookahead()
+// Each round the coordinator snapshots every shard's earliest possible
+// send (the remote generator's next fire or the inbox head — both known
+// ahead of running), relaxes those floors through the cheapest-latency
+// matrix so reply chains are bounded too, and derives each shard's safe
+// bound from its inbound channel clocks alone: a shard may advance while
+// min over links of (sender's floor + link latency) exceeds its next
+// event. Shards far (in latency) from the current bottleneck therefore
+// run far ahead of it instead of marching in lockstep to the global
+// minimum, which is what the old epoch barrier forced. Only shards with
+// work at or before their bound are dispatched; the rest cost nothing.
+func (e *Engine) runPhase(until sim.Time, run func(jobs []shardJob)) {
+	n := len(e.Shards)
 	for {
-		var next sim.Time
-		found := false
-		bound := never
-		for _, sh := range e.Shards {
-			if t, ok := sh.nextAt(); ok && (!found || t < next) {
-				next, found = t, true
+		// Channel-clock floors: es is what each shard's pending state can
+		// send; floor folds in the earliest reply any future request chain
+		// could force out of it.
+		for i, sh := range e.Shards {
+			e.es[i] = sh.earliestSend()
+		}
+		for i := 0; i < n; i++ {
+			f := e.es[i]
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				if c := satAdd(e.es[k], time.Duration(e.dist[k*n+i])); c < f {
+					f = c
+				}
 			}
-			if t := sh.earliestSend(); t < bound {
-				bound = t
+			e.floor[i] = f
+		}
+
+		jobs := e.jobs[:0]
+		stalled := false
+		for j, sh := range e.Shards {
+			t, ok := sh.nextAt()
+			if !ok || t > until {
+				continue
+			}
+			bound := until
+			for i := 0; i < n; i++ {
+				if i == j {
+					continue
+				}
+				// Strictly before the clock: an arrival exactly at the
+				// channel clock (zero-latency link, zero transmission
+				// time) must not be missed.
+				if cc := satAdd(e.floor[i], e.Router.MinLatency(i, j)) - 1; cc < bound {
+					bound = cc
+				}
+			}
+			if t <= bound {
+				jobs = append(jobs, shardJob{sh, bound})
+			} else {
+				stalled = true
 			}
 		}
-		if !found || next > until {
-			break
+
+		if len(jobs) == 0 {
+			if !stalled {
+				break
+			}
+			// Zero-lookahead stall: some link offers no window at all.
+			// The globally earliest event is still safe to run — nothing
+			// can arrive strictly before it — so serialize that one shard
+			// (lowest shard id on ties) exactly one event time forward.
+			var best *Shard
+			var bt sim.Time
+			for _, sh := range e.Shards {
+				if t, ok := sh.nextAt(); ok && t <= until && (best == nil || t < bt) {
+					best, bt = sh, t
+				}
+			}
+			jobs = append(jobs, shardJob{best, bt})
+			e.exec.Rescues++
 		}
-		end := until
-		if bound != never && bound+lookahead < end {
-			end = bound + lookahead
+
+		for _, j := range jobs {
+			e.advance.Add(float64(j.end - j.sh.ranTo))
+			j.sh.ranTo = j.end
 		}
-		round(end)
-		e.now = end
+		run(jobs)
+		e.exchange()
 	}
 	for _, sh := range e.Shards {
 		sh.C.Sim.RunUntil(until)
@@ -244,30 +400,48 @@ func (e *Engine) runPhase(until sim.Time, round func(end sim.Time)) {
 	e.now = until
 }
 
-// barrier routes every outbox emitted during the epoch and delivers the
+// exchange routes every outbox emitted during the round and delivers the
 // messages to their destination inboxes. Iteration is in shard order and
 // per-shard emission order, and destinations re-sort by (Arrive, From,
 // Seq), so the exchange is identical regardless of which goroutines ran
-// the epoch.
-func (e *Engine) barrier() {
-	e.exec.Epochs++
-	var byDest [][]*Message
+// the round. Links whose channel clock advanced without carrying a
+// payload message are counted as null advances — the protocol's null
+// messages.
+func (e *Engine) exchange() {
+	e.exec.Rounds++
+	n := len(e.Shards)
+	for i := range e.sentLink {
+		e.sentLink[i] = false
+	}
 	for _, sh := range e.Shards {
 		for _, m := range sh.takeOutbox() {
-			if m.To < 0 || m.To >= len(e.Shards) {
+			if m.To < 0 || m.To >= n {
 				panic(fmt.Sprintf("scale: message to unknown shard %d", m.To))
 			}
 			e.Router.Route(m)
 			e.exec.Routed++
 			e.exec.RoutedBytes += m.Payload
-			if byDest == nil {
-				byDest = make([][]*Message, len(e.Shards))
-			}
-			byDest[m.To] = append(byDest[m.To], m)
+			e.sentLink[m.From*n+m.To] = true
+			e.byDest[m.To] = append(e.byDest[m.To], m)
 		}
 	}
-	for i, msgs := range byDest {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			cc := satAdd(e.floor[i], e.Router.MinLatency(i, j))
+			if cc > e.prevCC[i*n+j] {
+				e.prevCC[i*n+j] = cc
+				if !e.sentLink[i*n+j] {
+					e.exec.NullAdvances++
+				}
+			}
+		}
+	}
+	for i, msgs := range e.byDest {
 		e.Shards[i].enqueue(msgs)
+		e.byDest[i] = e.byDest[i][:0]
 	}
 }
 
@@ -316,16 +490,38 @@ func (e *Engine) registerMetrics() {
 		Help: "Cumulative backbone transmission time; against elapsed virtual time it gives backbone utilization.",
 		Kind: metrics.Counter},
 		nil, func() time.Duration { return e.Router.Busy() })
-	ctr("spritefs_scale_epochs_total", "epochs",
-		"Barrier rounds the conservative executor ran.",
-		func() int64 { return e.exec.Epochs })
-	ctr("spritefs_scale_barrier_msgs_total", "msgs",
-		"Cross-shard messages exchanged at epoch barriers.",
+	ctr("spritefs_scale_rounds_total", "rounds",
+		"Channel-clock synchronization rounds the executor ran.",
+		func() int64 { return e.exec.Rounds })
+	ctr("spritefs_scale_exchange_msgs_total", "msgs",
+		"Cross-shard messages exchanged at round boundaries.",
 		func() int64 { return e.exec.Routed })
-	ctr("spritefs_scale_barrier_bytes_total", "bytes",
-		"Backbone payload bytes exchanged at epoch barriers.",
+	ctr("spritefs_scale_exchange_bytes_total", "bytes",
+		"Backbone payload bytes exchanged at round boundaries.",
 		func() int64 { return e.exec.RoutedBytes })
+	ctr("spritefs_scale_null_advances_total", "advances",
+		"Per-link channel-clock advances that carried no payload message (null messages).",
+		func() int64 { return e.exec.NullAdvances })
+	ctr("spritefs_scale_rescues_total", "rounds",
+		"Stall-breaker rounds serializing the earliest shard past a zero-lookahead link.",
+		func() int64 { return e.exec.Rescues })
+	ctr("spritefs_scale_msg_allocs_total", "msgs",
+		"Cross-shard message allocations that missed the per-shard free lists.",
+		func() int64 {
+			var total int64
+			for _, sh := range e.Shards {
+				total += sh.msgAllocs
+			}
+			return total
+		})
 	ctr("spritefs_scale_undelivered_msgs_total", "msgs",
 		"Messages still in flight when the drain window closed.",
 		func() int64 { return e.exec.Undelivered })
+	e.Reg.Seconds(metrics.Desc{Name: "spritefs_scale_min_link_lookahead_seconds",
+		Help: "Smallest directed-link latency in the topology — the tightest lookahead the channel clocks work with.",
+		Kind: metrics.Gauge},
+		nil, func() time.Duration { return e.minLook })
+	e.Reg.HistSeconds(metrics.Desc{Name: "spritefs_scale_advance_seconds",
+		Help: "Virtual time a shard advanced per round it ran — how much lookahead the per-link channel clocks bought."},
+		nil, func() stats.Welford { return e.advance })
 }

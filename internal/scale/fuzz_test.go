@@ -1,0 +1,163 @@
+package scale_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spritefs/internal/cluster"
+	"spritefs/internal/faults"
+	"spritefs/internal/scale"
+	"spritefs/internal/sim"
+	"spritefs/internal/workload"
+)
+
+// fuzzSeeds is the corpus size: each seed derives a random topology
+// (shard count, community size, server groups, link latencies including
+// occasional zero-latency links, remote-traffic mix, fault schedules)
+// that is run sequentially and in parallel at every worker count.
+const fuzzSeeds = 50
+
+// fuzzConfig derives one random topology from a seed. Everything —
+// including the per-shard fault schedules and the per-link latency
+// matrix — is drawn up front from a single deterministic stream, so the
+// same Config can instantiate any number of engines identically.
+func fuzzConfig(seed int64) (scale.Config, time.Duration) {
+	rng := sim.NewRand(seed ^ 0x5eedf022)
+
+	shards := 2 + rng.Intn(4)   // 2..5 segments
+	perShard := 2 + rng.Intn(3) // 2..4 clients each
+	servers := 1 + rng.Intn(3)  // 1..3 servers per shard
+	clients := shards * perShard
+
+	p := workload.Default(1000 + seed)
+	p.NumClients = clients
+	p.DailyUsers = clients - clients/4 - 1
+	p.OccasionalUsers = clients / 4
+	p.BigSimUsers = 1
+
+	router := scale.RouterConfig{
+		Latency:      time.Duration(rng.Range(float64(50*time.Microsecond), float64(5*time.Millisecond))),
+		BandwidthBps: rng.Range(1e6, 1e9),
+	}
+	if rng.Bool(1.0 / 3) {
+		// Heterogeneous links: a latency matrix with occasional
+		// zero-latency links, exercising per-link lookahead and the
+		// stall-breaker.
+		lat := make([][]time.Duration, shards)
+		for i := range lat {
+			lat[i] = make([]time.Duration, shards)
+			for j := range lat[i] {
+				if i == j {
+					continue
+				}
+				if rng.Bool(0.1) {
+					lat[i][j] = 0
+				} else {
+					lat[i][j] = time.Duration(rng.Range(float64(10*time.Microsecond), float64(4*time.Millisecond)))
+				}
+			}
+		}
+		router.LinkLatency = func(from, to int) time.Duration { return lat[from][to] }
+	}
+
+	remote := scale.RemoteConfig{
+		OpsPerClientHour: rng.Range(30, 600),
+		ReadFrac:         rng.Range(0.2, 1.0),
+		BytesMedian:      rng.Range(512, 64*1024),
+		BytesSigma:       rng.Range(0.3, 1.5),
+	}
+
+	horizon := time.Duration(rng.Range(float64(4*time.Minute), float64(10*time.Minute)))
+
+	cfg := scale.Config{
+		Base:            p,
+		Shards:          shards,
+		ServersPerShard: servers,
+		Router:          router,
+		Remote:          remote,
+	}
+	if rng.Bool(0.5) {
+		// Per-shard fault schedules, precomputed so Tune stays a pure
+		// function of the shard index across engine instantiations.
+		schedules := make([]faults.Schedule, shards)
+		for i := range schedules {
+			schedules[i] = faults.Random(rng.Fork(), horizon, 1+rng.Intn(3), servers, perShard)
+		}
+		cfg.Tune = func(shard int, ccfg *cluster.Config) {
+			ccfg.Faults = schedules[shard]
+		}
+	}
+	return cfg, horizon
+}
+
+// runFuzzSeed runs one corpus entry sequentially and at each parallel
+// worker count, asserting byte-identical reports and full
+// metrics-registry dumps.
+func runFuzzSeed(t *testing.T, seed int64, workerCounts []int) {
+	t.Helper()
+	cfg, horizon := fuzzConfig(seed)
+	ref := scale.MustNew(cfg)
+	refStats := ref.Run(scale.RunOptions{Horizon: horizon})
+	want := fingerprint(t, ref)
+	for _, w := range workerCounts {
+		e := scale.MustNew(cfg)
+		st := e.Run(scale.RunOptions{Horizon: horizon, Parallel: true, Workers: w})
+		if got := fingerprint(t, e); got != want {
+			t.Errorf("seed %d: workers=%d output differs from sequential\n%s", seed, w, firstDiff(want, got))
+		}
+		if st.Exec != refStats.Exec {
+			t.Errorf("seed %d: workers=%d exec stats differ: sequential %+v parallel %+v", seed, w, refStats.Exec, st.Exec)
+		}
+	}
+}
+
+// firstDiff locates the first divergent line of two fingerprints so a
+// fuzz failure is diagnosable without dumping two full registries.
+func firstDiff(want, got string) string {
+	w, g := 0, 0
+	line := 1
+	for w < len(want) && g < len(got) {
+		we, ge := w, g
+		for we < len(want) && want[we] != '\n' {
+			we++
+		}
+		for ge < len(got) && got[ge] != '\n' {
+			ge++
+		}
+		if want[w:we] != got[g:ge] {
+			return fmt.Sprintf("first differing line %d:\n  sequential: %s\n  parallel:   %s", line, want[w:we], got[g:ge])
+		}
+		w, g = we+1, ge+1
+		line++
+	}
+	if len(want) != len(got) {
+		return fmt.Sprintf("fingerprints differ in length: sequential %d bytes, parallel %d bytes", len(want), len(got))
+	}
+	return "fingerprints differ"
+}
+
+// TestDeterminismFuzz sweeps the corpus: ~50 seeded random topologies,
+// each run sequentially and in parallel at 1, 2, 4 and 8 workers, with
+// byte-identity of report tables plus the full metrics dump required
+// throughout. -short trims the corpus for quick local runs; the full
+// sweep runs under `make test`.
+func TestDeterminismFuzz(t *testing.T) {
+	n := fuzzSeeds
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runFuzzSeed(t, seed, []int{1, 2, 4, 8})
+		})
+	}
+}
+
+// TestDetermFuzzSmoke is the corpus's smallest seed alone, kept cheap so
+// `make scalecheck` can run it under the race detector at 1, 4 and 8
+// workers on every change.
+func TestDetermFuzzSmoke(t *testing.T) {
+	runFuzzSeed(t, 0, []int{1, 4, 8})
+}

@@ -136,10 +136,13 @@ func (r *Report) Table() *stats.Table {
 
 // ExecTable renders the executor/router bookkeeping.
 func (r *Report) ExecTable() *stats.Table {
-	t := stats.NewTable("Epoch executor", "counter", "value")
-	t.AddRow("epochs", fmt.Sprintf("%d", r.Exec.Epochs))
+	t := stats.NewTable("Channel-clock executor", "counter", "value")
+	t.AddRow("rounds", fmt.Sprintf("%d", r.Exec.Rounds))
 	t.AddRow("messages routed", fmt.Sprintf("%d", r.Exec.Routed))
 	t.AddRow("backbone bytes", fmt.Sprintf("%d", r.Exec.RoutedBytes))
+	t.AddRow("null advances", fmt.Sprintf("%d", r.Exec.NullAdvances))
+	t.AddRow("stall rescues", fmt.Sprintf("%d", r.Exec.Rescues))
+	t.AddRow("message allocs", fmt.Sprintf("%d", r.Exec.MsgAllocs))
 	t.AddRow("undelivered at end", fmt.Sprintf("%d", r.Exec.Undelivered))
 	t.AddRow("router messages", fmt.Sprintf("%d", r.RouterMsgs))
 	t.AddRow("router utilization %", fmt.Sprintf("%.2f", r.RouterUtil*100))

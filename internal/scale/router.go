@@ -29,13 +29,13 @@ func (k MsgKind) String() string {
 }
 
 // Message is one unit of cross-shard communication. Messages are created
-// inside a shard's epoch, routed at the barrier, and delivered into the
+// inside a shard's round, routed at the exchange, and delivered into the
 // destination shard's simulator at Arrive. The (Arrive, From, Seq) triple
 // totally orders deliveries, which is what makes the parallel executor's
 // exchange deterministic.
 type Message struct {
 	Send   sim.Time // virtual time the source emitted it
-	Arrive sim.Time // Send + router latency + payload transmission
+	Arrive sim.Time // Send + link latency + payload transmission
 	From   int      // source shard
 	To     int      // destination shard
 	Seq    uint64   // per-source sequence number (tie-break)
@@ -70,11 +70,16 @@ type LinkStats struct {
 }
 
 // Router is the inter-segment backbone: it prices every cross-shard
-// message and accounts per-link traffic. Routing happens only at epoch
-// barriers on the coordinator goroutine, so Router needs no locking.
+// message and accounts per-link traffic. Each directed link has its own
+// store-and-forward latency (uniform RouterConfig.Latency unless
+// RouterConfig.LinkLatency differentiates them), which is also the
+// channel-clock executor's per-link lookahead. Routing happens only at
+// round exchanges on the coordinator goroutine, so Router needs no
+// locking.
 type Router struct {
 	cfg   RouterConfig
-	links [][]LinkStats // [from][to]
+	lat   [][]time.Duration // [from][to] store-and-forward latency
+	links [][]LinkStats     // [from][to]
 
 	msgs  int64
 	bytes int64
@@ -84,15 +89,25 @@ type Router struct {
 // NewRouter returns a router joining n segments.
 func NewRouter(cfg RouterConfig, n int) *Router {
 	links := make([][]LinkStats, n)
+	lat := make([][]time.Duration, n)
 	for i := range links {
 		links[i] = make([]LinkStats, n)
+		lat[i] = make([]time.Duration, n)
+		for j := range lat[i] {
+			l := cfg.Latency
+			if cfg.LinkLatency != nil && i != j {
+				l = cfg.LinkLatency(i, j)
+			}
+			lat[i][j] = l
+		}
 	}
-	return &Router{cfg: cfg, links: links}
+	return &Router{cfg: cfg, lat: lat, links: links}
 }
 
-// Lookahead is the executor's safe window: no message can arrive sooner
-// than this after it is sent.
-func (r *Router) Lookahead() time.Duration { return r.cfg.Latency }
+// MinLatency is the directed link's store-and-forward latency: the floor
+// on how long a message from one shard takes to reach another, and so the
+// executor's per-link lookahead. Payload transmission only adds to it.
+func (r *Router) MinLatency(from, to int) time.Duration { return r.lat[from][to] }
 
 // Route prices m, stamps its arrival time, and accounts the transfer.
 func (r *Router) Route(m *Message) {
@@ -100,7 +115,7 @@ func (r *Router) Route(m *Message) {
 		panic(fmt.Sprintf("scale: negative payload %d", m.Payload))
 	}
 	xmit := time.Duration(float64(m.Payload) / r.cfg.BandwidthBps * float64(time.Second))
-	m.Arrive = m.Send + r.cfg.Latency + xmit
+	m.Arrive = m.Send + r.lat[m.From][m.To] + xmit
 	r.links[m.From][m.To].Msgs++
 	r.links[m.From][m.To].Bytes += m.Payload
 	r.msgs++

@@ -33,8 +33,8 @@ type RemoteStats struct {
 
 // Shard is one Ethernet segment: a hermetic cluster plus the executor's
 // per-shard message state. All fields are owned by whichever goroutine is
-// running the shard's epoch; the coordinator touches inbox/outbox only at
-// barriers, with channel synchronization ordering the accesses.
+// running the shard's round; the coordinator touches inbox/outbox only at
+// round exchanges, with channel synchronization ordering the accesses.
 type Shard struct {
 	ID int
 	C  *cluster.Cluster
@@ -42,13 +42,22 @@ type Shard struct {
 	rng *sim.Rand // remote-access generator stream
 
 	inbox   []*Message // pending inbound, sorted by (Arrive, From, Seq)
-	outbox  []*Message // collected during the current epoch
+	outbox  []*Message // collected during the current round
 	msgFree []*Message // recycled messages (refilled after delivery)
 	seq     uint64
+	// msgAllocs counts allocMsg calls that found the free list empty and
+	// had to allocate. A pure function of the topology and seeds (the
+	// channel-clock protocol is deterministic), so it participates in the
+	// byte-identity guarantee.
+	msgAllocs int64
+	// ranTo is the last bound this shard advanced to (the executor's
+	// advance-width accounting).
+	ranTo sim.Time
 	// nextRemoteAt is the remote generator's next fire time (never when
 	// the generator is inactive or has stopped). Together with the inbox
 	// head it bounds the shard's earliest possible send, which lets the
-	// executor stretch epochs far beyond the router latency.
+	// executor stretch per-link channel clocks far beyond the link
+	// latency.
 	nextRemoteAt sim.Time
 
 	remote RemoteStats
@@ -61,7 +70,7 @@ func (sh *Shard) Remote() RemoteStats { return sh.remote }
 
 // allocMsg pops a recycled message (or allocates one). The caller
 // overwrites every field, so stale contents cannot leak. Each shard's
-// free list is touched only by the goroutine running that shard's epoch,
+// free list is touched only by the goroutine running that shard's round,
 // so no locking is needed; messages recycle into the free list of the
 // shard that consumed them, which may differ from the one that sent them.
 func (sh *Shard) allocMsg() *Message {
@@ -70,6 +79,7 @@ func (sh *Shard) allocMsg() *Message {
 		sh.msgFree = sh.msgFree[:n-1]
 		return m
 	}
+	sh.msgAllocs++
 	return &Message{}
 }
 
@@ -77,7 +87,7 @@ func (sh *Shard) allocMsg() *Message {
 func (sh *Shard) freeMsg(m *Message) { sh.msgFree = append(sh.msgFree, m) }
 
 // send stamps m with the shard's identity and sequence number and queues
-// it for routing at the next barrier.
+// it for routing at the next exchange.
 func (sh *Shard) send(m *Message) {
 	m.From = sh.ID
 	sh.seq++
@@ -242,7 +252,7 @@ func (sh *Shard) complete(m *Message) {
 }
 
 // enqueue adds routed messages to the inbox, restoring the (Arrive, From,
-// Seq) order. Called only at barriers by the coordinator.
+// Seq) order. Called only at round exchanges by the coordinator.
 func (sh *Shard) enqueue(msgs []*Message) {
 	if len(msgs) == 0 {
 		return
@@ -260,11 +270,11 @@ func (sh *Shard) enqueue(msgs []*Message) {
 	})
 }
 
-// runEpoch advances the shard to end: due inbound messages are scheduled
-// at their arrival times, then the simulator runs every event at or
-// before the epoch boundary. Messages emitted during the epoch accumulate
-// in the outbox for the barrier.
-func (sh *Shard) runEpoch(end sim.Time) {
+// advanceTo runs the shard to its channel-clock bound: due inbound
+// messages are scheduled at their arrival times, then the simulator runs
+// every event at or before the bound. Messages emitted during the round
+// accumulate in the outbox for the exchange.
+func (sh *Shard) advanceTo(end sim.Time) {
 	n := 0
 	for ; n < len(sh.inbox) && sh.inbox[n].Arrive <= end; n++ {
 		m := sh.inbox[n]
@@ -278,10 +288,13 @@ func (sh *Shard) runEpoch(end sim.Time) {
 	sh.C.Sim.RunUntil(end)
 }
 
-// takeOutbox returns and clears the epoch's outbound messages.
+// takeOutbox returns the round's outbound messages and resets the outbox,
+// keeping its backing array for the next round. The returned slice is
+// valid until the shard's next round, which cannot start before the
+// coordinator finishes the exchange.
 func (sh *Shard) takeOutbox() []*Message {
 	out := sh.outbox
-	sh.outbox = nil
+	sh.outbox = sh.outbox[:0]
 	return out
 }
 

@@ -11,17 +11,25 @@ import (
 )
 
 // RouterConfig parameterizes the inter-segment backbone. Latency is the
-// one-way store-and-forward delay every cross-shard message pays; it is
-// also the executor's lookahead, so a smaller latency means tighter
-// coupling and more synchronization barriers per simulated second.
+// one-way store-and-forward delay a cross-shard message pays; it is also
+// the channel-clock executor's per-link lookahead, so a smaller latency
+// means tighter coupling and more synchronization rounds per simulated
+// second.
 type RouterConfig struct {
-	// Latency is the fixed one-way inter-segment delay. Must be positive:
-	// a zero-latency backbone would leave the conservative executor no
-	// lookahead window to parallelize over.
+	// Latency is the uniform one-way inter-segment delay, used for every
+	// link LinkLatency does not override. Must be positive: it is the
+	// default lookahead floor the executor parallelizes over.
 	Latency time.Duration
 	// BandwidthBps is the backbone bandwidth in bytes/second shared by
 	// all links (payload bytes add Payload/Bandwidth to the delay).
 	BandwidthBps float64
+	// LinkLatency, when set, prices each directed link separately (a
+	// tiered WAN: cheap intra-site hops, expensive cross-site trunks).
+	// It is consulted once per ordered shard pair at construction and
+	// must be deterministic. Individual links may be zero-latency — the
+	// executor falls back to serialized stall-breaking rounds on links
+	// with no lookahead — but must not be negative.
+	LinkLatency func(from, to int) time.Duration
 }
 
 // DefaultRouter returns a campus-backbone router: 100 Mbit/s trunk and
@@ -86,6 +94,13 @@ type Config struct {
 	// Tune, when set, adjusts each shard's cluster configuration after
 	// the defaults are applied (ablations on a sharded world).
 	Tune func(shard int, cfg *cluster.Config)
+	// SeedMessages pre-populates the shards' message free lists, entry i
+	// going to shard i. Benchmarks drain a finished engine's pools with
+	// DrainMessagePools and seed the next iteration's engine so allocs/op
+	// reflects the executor's steady state rather than cold-start pool
+	// growth. Message contents are fully overwritten before use, so
+	// seeding never changes simulation output.
+	SeedMessages [][]*Message
 }
 
 // withDefaults fills the zero values.
@@ -114,10 +129,22 @@ func (c Config) validate() error {
 		return fmt.Errorf("scale: need at least one shard (got %d)", c.Shards)
 	}
 	if c.Router.Latency <= 0 {
-		return fmt.Errorf("scale: router latency must be positive (it is the executor's lookahead)")
+		return fmt.Errorf("scale: router latency must be positive (it is the executor's default lookahead)")
 	}
 	if c.Router.BandwidthBps <= 0 {
 		return fmt.Errorf("scale: router bandwidth must be positive")
+	}
+	if c.Router.LinkLatency != nil {
+		for i := 0; i < c.Shards; i++ {
+			for j := 0; j < c.Shards; j++ {
+				if i == j {
+					continue
+				}
+				if l := c.Router.LinkLatency(i, j); l < 0 {
+					return fmt.Errorf("scale: link %d->%d latency %v is negative", i, j, l)
+				}
+			}
+		}
 	}
 	total := workload.ScaleCommunity(c.Base, c.Factor)
 	if total.NumClients < c.Shards {
