@@ -96,14 +96,16 @@ soaksmoke:
 # BENCH_scale.json records name, ns/op, allocs, clients, shards and
 # workers per benchmark plus two derived wall-clock speedups — the
 # shards=8-over-shards=1 sharding payoff and the workers=8-over-workers=1
-# multi-core payoff of the channel-clock executor — and a vs_baseline
+# multi-core payoff of the channel-clock executor — and, via the
+# BenchmarkWANScale sites sweep (sites=/segs= labels), the cost of
+# hierarchical tier pricing vs the flat topology — and a vs_baseline
 # section against the committed BENCH_scale_baseline.json. Each run also
 # appends one line to the BENCH_history.jsonl perf log. The second block
 # runs the simulation-core micro benchmarks and the sharded-replay macro
 # benchmark and writes BENCH_simcore.json, including a vs_baseline
 # section against the committed pre-optimization numbers.
 bench:
-	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleWorkers|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -count=3 -run '^$$' \
+	$(GO) test -bench='BenchmarkScaleEngine|BenchmarkScaleWorkers|BenchmarkWANScale$$|BenchmarkScaleBarrier|BenchmarkRecoveryStorm' -benchmem -benchtime=1x -count=3 -run '^$$' \
 		./internal/scale ./internal/faults/check | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -baseline BENCH_scale_baseline.json -history BENCH_history.jsonl -o BENCH_scale.json
 	$(GO) test -bench='BenchmarkEventThroughput|BenchmarkHeapChurn|BenchmarkSimCore' -benchmem -run '^$$' \
@@ -117,7 +119,7 @@ bench:
 # sweep (median of -count runs) over the executor-dominated scale
 # benchmark and the simulation-core micro benchmarks.
 define BENCHCHECK_RUN
-	$(GO) test -bench='BenchmarkScaleBarrier' -benchmem -benchtime=3x -count=5 -run '^$$' \
+	$(GO) test -bench='BenchmarkScaleBarrier|BenchmarkWANScaleQuick' -benchmem -benchtime=3x -count=5 -run '^$$' \
 		./internal/scale | tee benchcheck_output.txt
 	$(GO) test -bench='BenchmarkEventThroughput|BenchmarkHeapChurn|BenchmarkSimCore$$' -benchmem -benchtime=0.3s -count=3 -run '^$$' \
 		./internal/sim | tee -a benchcheck_output.txt

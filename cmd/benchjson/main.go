@@ -47,7 +47,12 @@ type Entry struct {
 	Clients     int     `json:"clients,omitempty"`
 	Shards      int     `json:"shards,omitempty"`
 	Workers     int     `json:"workers,omitempty"`
-	Runs        int     `json:"runs,omitempty"`
+	// Sites and Segs carry the hierarchical-topology axes: the site count
+	// and the total segment count of a WAN-scale benchmark (tier depth is
+	// sites=1 flat vs sites>1 hierarchical).
+	Sites int `json:"sites,omitempty"`
+	Segs  int `json:"segs,omitempty"`
+	Runs  int `json:"runs,omitempty"`
 }
 
 // Speedup compares two shard counts of the same benchmark and community.
@@ -376,6 +381,12 @@ func parseLine(line string) (Entry, bool) {
 		}
 		if v, ok := strings.CutPrefix(part, "workers="); ok {
 			e.Workers, _ = strconv.Atoi(v)
+		}
+		if v, ok := strings.CutPrefix(part, "sites="); ok {
+			e.Sites, _ = strconv.Atoi(v)
+		}
+		if v, ok := strings.CutPrefix(part, "segs="); ok {
+			e.Segs, _ = strconv.Atoi(v)
 		}
 	}
 	return e, true

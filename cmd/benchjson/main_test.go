@@ -80,6 +80,30 @@ BenchmarkScaleWorkers/clients=1000/shards=8/workers=8-4  1  1000000000 ns/op
 	}
 }
 
+// TestConvertWANScale pins the hierarchical-topology labels: sites= and
+// segs= name parts land in their own fields, and the site sweep derives
+// no shard speedups (sites is a pricing axis, not a parallelism axis).
+func TestConvertWANScale(t *testing.T) {
+	const in = `
+BenchmarkWANScale/clients=1000/sites=1/segs=8-4  1  3000000000 ns/op
+BenchmarkWANScale/clients=1000/sites=4/segs=8-4  1  3500000000 ns/op
+`
+	o, err := Convert(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(o.Benchmarks))
+	}
+	flat, wan := o.Benchmarks[0], o.Benchmarks[1]
+	if flat.Clients != 1000 || flat.Sites != 1 || flat.Segs != 8 || wan.Sites != 4 || wan.Segs != 8 {
+		t.Errorf("sites=/segs= parsed wrong: %+v %+v", flat, wan)
+	}
+	if len(o.Speedups) != 0 || len(o.WorkerSpeedups) != 0 {
+		t.Errorf("site sweep derived speedups: %+v %+v", o.Speedups, o.WorkerSpeedups)
+	}
+}
+
 // TestAggregateMedian pins the -count=N behaviour: repeated runs of one
 // benchmark collapse to a single median entry, so one outlier run cannot
 // trip the regression gate.

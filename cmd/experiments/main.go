@@ -8,6 +8,8 @@
 //	experiments -exp section5 -days 1 -scale 0.5
 //	experiments -exp all -hours 24 -days 14        # full-scale, slow
 //	experiments -exp scale -clients 1000 -shards 1,2,4,8 -hours 0.25
+//	experiments -exp wanscale -clients 10000 -segments 8 -sites 1,2,4,8
+//	experiments -exp wanscale -clients 1000000 -segments 200 -sites 20 -lean -hours 0.02
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 // memprofile) apply everywhere.
 var flagScope = map[string][]string{
 	"traces":         {"all", "section4"},
-	"hours":          {"all", "section4", "faults", "timeseries", "scale"},
+	"hours":          {"all", "section4", "faults", "timeseries", "scale", "wanscale"},
 	"days":           {"all", "section5"},
 	"scale":          {"all", "section4", "section5", "faults", "timeseries"},
 	"cdfdir":         {"all", "section4"},
@@ -40,12 +42,15 @@ var flagScope = map[string][]string{
 	"metrics-format": {"timeseries"},
 	"metrics-sample": {"timeseries"},
 	"shards":         {"scale"},
-	"clients":        {"scale"},
-	"sequential":     {"scale"},
-	"workers":        {"scale"},
+	"clients":        {"scale", "wanscale"},
+	"sequential":     {"scale", "wanscale"},
+	"workers":        {"scale", "wanscale"},
+	"sites":          {"wanscale"},
+	"segments":       {"wanscale"},
+	"lean":           {"wanscale"},
 }
 
-var validExps = []string{"all", "section4", "section5", "faults", "timeseries", "scale"}
+var validExps = []string{"all", "section4", "section5", "faults", "timeseries", "scale", "wanscale"}
 
 // validateFlags fails fast on unknown -exp names and on contradictory
 // combinations instead of silently running the default.
@@ -90,7 +95,7 @@ func validateFlags(exp string, set map[string]bool, metricsFmt string) error {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries, scale")
+		exp     = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries, scale, wanscale")
 		traces  = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
 		hours   = flag.Float64("hours", 24, "simulated hours per trace")
 		days    = flag.Float64("days", 14, "simulated days for the counter study")
@@ -102,9 +107,12 @@ func main() {
 		tsFmt   = flag.String("metrics-format", "tsv", "series dump format: tsv | prom | jsonl")
 		tsIntv  = flag.Duration("metrics-sample", 10*time.Second, "sampling interval for -exp timeseries")
 		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp scale")
-		clients = flag.Int("clients", 1000, "total community size for -exp scale")
-		seqExec = flag.Bool("sequential", false, "for -exp scale: force the sequential executor")
-		workers = flag.Int("workers", 0, "for -exp scale: parallel executor goroutines (0 = GOMAXPROCS)")
+		clients = flag.Int("clients", 0, "total community size for -exp scale (default 1000) or wanscale (default 10000)")
+		seqExec = flag.Bool("sequential", false, "for -exp scale/wanscale: force the sequential executor")
+		workers = flag.Int("workers", 0, "for -exp scale/wanscale: parallel executor goroutines (0 = GOMAXPROCS)")
+		sites   = flag.String("sites", "1,2,4,8", "comma-separated site counts for -exp wanscale")
+		segs    = flag.Int("segments", 8, "total segment count for -exp wanscale (each site count must divide it)")
+		lean    = flag.Bool("lean", false, "for -exp wanscale: skip per-client metric instances (needed for million-client runs)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
@@ -216,6 +224,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(core.ScaleTables(r))
+	}
+
+	if *exp == "wanscale" {
+		counts, err := parseShards(*sites)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		wanHours := *hours
+		if !setFlags["hours"] {
+			wanHours = 0 // RunWANScaleStudy's short default, not the trace studies' 24h
+		}
+		wanClients := *clients
+		if wanClients <= 0 {
+			wanClients = 10000 // RunWANScaleStudy's default
+		}
+		fmt.Fprintf(os.Stderr, "running wanscale study (%d clients, %d segments, sites %s)...\n",
+			wanClients, *segs, *sites)
+		r, err := core.RunWANScaleStudy(core.WANScaleOptions{
+			Clients: *clients, Segments: *segs, Sites: counts, Hours: wanHours,
+			Seed: *seed, Sequential: *seqExec, Workers: *workers, Lean: *lean,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(core.WANScaleTables(r))
 	}
 }
 

@@ -72,6 +72,13 @@ type Config struct {
 	// MetricsMatch restricts sampling to metric families for which it
 	// returns true; nil samples every non-summary family.
 	MetricsMatch func(name string) bool
+	// LeanMetrics skips the per-client metric families in this cluster's
+	// registry: servers, the network, the simulator and the injector
+	// still register, but the client stacks do not. The scale-out
+	// topology sets this for very large communities, where per-client
+	// instances would dominate memory; Report tables that project client
+	// families read as zero in a lean run.
+	LeanMetrics bool
 }
 
 // DefaultConfig returns the paper's cluster: 4 servers, 40 clients.
@@ -191,7 +198,11 @@ func New(cfg Config) *Cluster {
 		c.Injector = faults.Attach(c, cfg.Faults)
 	}
 	c.Reg = metrics.New()
-	RegisterComponents(c.Reg, c.Sim, c.Clients, c.Servers, c.Net, c.Injector)
+	regClients := c.Clients
+	if cfg.LeanMetrics {
+		regClients = nil
+	}
+	RegisterComponents(c.Reg, c.Sim, regClients, c.Servers, c.Net, c.Injector)
 	c.Engine = workload.NewEngine(c.Sim, p, c.Registry, hosts)
 	c.Engine.OnMigrate = func(user, pid, from, to int32) {
 		c.Emit(trace.Record{

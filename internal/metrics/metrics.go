@@ -123,6 +123,12 @@ type metric struct {
 type Family struct {
 	Desc      Desc
 	instances []*metric
+	// byKey indexes instances by their rendered label set. Registration
+	// must stay O(1) per instance: the scale-out topology registers one
+	// instance per client per family, so a linear duplicate scan would
+	// make constructing a million-client registry quadratic (hours of
+	// wall-clock before the first event runs).
+	byKey map[string]*metric
 }
 
 // Instances returns the number of registered instances.
@@ -212,11 +218,13 @@ func (r *Registry) add(d Desc, ls Labels, m *metric) {
 	}
 	m.labels = ls
 	m.key = ls.String()
-	for _, prev := range f.instances {
-		if prev.key == m.key {
-			panic(fmt.Sprintf("metrics: duplicate instance %s%s", d.Name, m.key))
-		}
+	if f.byKey == nil {
+		f.byKey = make(map[string]*metric)
 	}
+	if f.byKey[m.key] != nil {
+		panic(fmt.Sprintf("metrics: duplicate instance %s%s", d.Name, m.key))
+	}
+	f.byKey[m.key] = m
 	f.instances = append(f.instances, m)
 }
 

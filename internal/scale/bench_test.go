@@ -71,6 +71,50 @@ func BenchmarkScaleWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkWANScale is the hierarchical-topology macro benchmark behind
+// BENCH_scale.json: the 1000-client community on a fixed 8-segment grid,
+// flat (sites=1) and re-grouped into 2 and 4 sites under WAN tier
+// pricing. The name carries clients/sites/segs labels so benchjson can
+// chart cost vs tier depth; a tier-pricing regression (say, the router
+// pricing walk going quadratic) shows up here before it shows up in a
+// million-client run.
+func BenchmarkWANScale(b *testing.B) {
+	for _, sites := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clients=1000/sites=%d/segs=8", sites), func(b *testing.B) {
+			cfg := scale.Config{
+				Base:   workload.Default(42),
+				Factor: 25,
+				Shards: 8,
+				Sites:  sites,
+			}
+			opts := scale.RunOptions{Horizon: benchHorizon, Parallel: true}
+			var pools [][]*scale.Message
+			for i := 0; i < b.N; i++ {
+				pools = runRecycled(cfg, opts, pools)
+			}
+		})
+	}
+}
+
+// BenchmarkWANScaleQuick is the benchcheck gate's variant: a small
+// two-site community, cheap enough to run median-of-counts inside make
+// check, sensitive to regressions in tier pricing, placement lookups and
+// the cross-site gateway path.
+func BenchmarkWANScaleQuick(b *testing.B) {
+	p := workload.Default(7)
+	p.NumClients = 16
+	p.DailyUsers = 12
+	p.OccasionalUsers = 4
+	cfg := scale.Config{Base: p, Shards: 4, Sites: 2, ServersPerShard: 1}
+	cfg.Remote = scale.DefaultRemote()
+	cfg.Remote.OpsPerClientHour = 600 // one remote op per client every 6s
+	opts := scale.RunOptions{Horizon: 10 * time.Minute, Parallel: true}
+	var pools [][]*scale.Message
+	for i := 0; i < b.N; i++ {
+		pools = runRecycled(cfg, opts, pools)
+	}
+}
+
 // BenchmarkScaleBarrier isolates the executor overhead: a small community
 // where remote messages (and so exchange rounds) dominate the per-shard
 // work.

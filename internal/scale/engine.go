@@ -72,6 +72,8 @@ type Engine struct {
 	Shards    []*Shard
 	Router    *Router
 	Placement *Placement
+	// topo is the shard grid (sites × segments-per-site).
+	topo Topology
 	// Reg is the topology-wide metric registry: every shard's component
 	// stack registered under a shard="N" label, plus the router and
 	// executor families.
@@ -100,23 +102,28 @@ type Engine struct {
 }
 
 // New instantiates the topology: the community is scaled to Factor× the
-// paper's population, split across Shards segments, and each segment gets
-// a hermetic cluster. The placement map and router are built, and every
+// paper's population, split site-major across the shard grid (SplitSite
+// then Split, so a segment's community is a pure function of the base
+// seed, its site and its index), and each segment gets a hermetic
+// cluster. The placement ring and tiered router are built, and every
 // component registers into the engine-wide metric registry.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	topo := cfg.topology()
 	total := workload.ScaleCommunity(cfg.Base, cfg.Factor)
-	e := &Engine{Cfg: cfg, Router: NewRouter(cfg.Router, cfg.Shards)}
+	e := &Engine{Cfg: cfg, topo: topo, Router: NewRouter(cfg.Router, cfg.Tiers, topo)}
 	for i := 0; i < cfg.Shards; i++ {
-		p := workload.Split(total, cfg.Shards, i)
+		site, seg := topo.SiteOf(i), i%topo.SegsPerSite
+		p := workload.Split(workload.SplitSite(total, topo.Sites, site), topo.SegsPerSite, seg)
 		ccfg := cluster.DefaultConfig(p)
 		ccfg.CollectTrace = false
 		ccfg.SamplePeriod = 0
 		ccfg.NumServers = cfg.ServersPerShard
 		ccfg.Net = cfg.Segment
+		ccfg.LeanMetrics = cfg.LeanMetrics
 		if cfg.Tune != nil {
 			cfg.Tune(i, &ccfg)
 		}
@@ -131,11 +138,14 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.Shards = append(e.Shards, sh)
 	}
-	e.Placement = buildPlacement(e.Shards)
+	e.Placement = buildPlacement(topo, e.Shards)
 	e.Reg = metrics.New()
 	e.registerMetrics()
 	return e, nil
 }
+
+// Topology returns the engine's shard grid.
+func (e *Engine) Topology() Topology { return e.topo }
 
 // MustNew is New for tests and examples with known-good configurations.
 func MustNew(cfg Config) *Engine {
@@ -447,12 +457,19 @@ func (e *Engine) exchange() {
 
 // registerMetrics builds the engine-wide registry: per-shard component
 // stacks under shard="N", per-shard remote-traffic counters, and the
-// router/executor families.
+// router/executor families. With LeanMetrics the per-client families are
+// skipped — a million clients would register tens of millions of metric
+// instances nobody scrapes at that scale — while everything aggregated
+// (servers, networks, simulators, scale families) still registers.
 func (e *Engine) registerMetrics() {
 	for i, sh := range e.Shards {
 		sh := sh
 		scoped := e.Reg.Scoped(metrics.L("shard", strconv.Itoa(i)))
-		cluster.RegisterComponents(scoped, sh.C.Sim, sh.C.Clients, sh.C.Servers, sh.C.Net, sh.C.Injector)
+		clients := sh.C.Clients
+		if e.Cfg.LeanMetrics {
+			clients = nil
+		}
+		cluster.RegisterComponents(scoped, sh.C.Sim, clients, sh.C.Servers, sh.C.Net, sh.C.Injector)
 
 		rctr := func(name, unit, help string, fn func() int64) {
 			scoped.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, nil, fn)
@@ -475,6 +492,14 @@ func (e *Engine) registerMetrics() {
 		scoped.HistSeconds(metrics.Desc{Name: "spritefs_scale_remote_latency_seconds",
 			Help: "End-to-end remote operation latency (request issue to reply arrival)."},
 			nil, func() stats.Welford { return sh.remote.Latency })
+		if e.topo.Sites > 1 {
+			rctr("spritefs_scale_cross_site_ops_total", "ops",
+				"Cross-site operations this shard's clients issued (requests that traverse the WAN tier).",
+				func() int64 { return sh.remote.CrossSiteOps })
+			scoped.HistSeconds(metrics.Desc{Name: "spritefs_scale_wan_latency_seconds",
+				Help: "End-to-end latency of remote operations whose replies crossed the WAN tier."},
+				nil, func() stats.Welford { return sh.remote.WANLatency })
+		}
 	}
 
 	ctr := func(name, unit, help string, fn func() int64) {
@@ -490,6 +515,29 @@ func (e *Engine) registerMetrics() {
 		Help: "Cumulative backbone transmission time; against elapsed virtual time it gives backbone utilization.",
 		Kind: metrics.Counter},
 		nil, func() time.Duration { return e.Router.Busy() })
+	e.Reg.Int(metrics.Desc{Name: "spritefs_scale_sites", Unit: "sites",
+		Help: "Sites in the hierarchical topology (1 = flat single-site).",
+		Kind: metrics.Gauge},
+		nil, func() int64 { return int64(e.topo.Sites) })
+	for _, tier := range []struct {
+		label string
+		wan   bool
+	}{{"site", false}, {"wan", true}} {
+		tier := tier
+		lbl := metrics.Labels{metrics.L("tier", tier.label)}
+		e.Reg.Int(metrics.Desc{Name: "spritefs_scale_tier_msgs_total", Unit: "msgs",
+			Help: "Messages carried per topology tier (site = intra-site backbone, wan = inter-site trunk).",
+			Kind: metrics.Counter},
+			lbl, func() int64 { m, _, _ := e.Router.TierTraffic(tier.wan); return m })
+		e.Reg.Int(metrics.Desc{Name: "spritefs_scale_tier_bytes_total", Unit: "bytes",
+			Help: "Payload bytes carried per topology tier.",
+			Kind: metrics.Counter},
+			lbl, func() int64 { _, b, _ := e.Router.TierTraffic(tier.wan); return b })
+		e.Reg.Seconds(metrics.Desc{Name: "spritefs_scale_tier_busy_seconds",
+			Help: "Cumulative transmission time per topology tier; against elapsed virtual time it gives tier utilization.",
+			Kind: metrics.Counter},
+			lbl, func() time.Duration { _, _, d := e.Router.TierTraffic(tier.wan); return d })
+	}
 	ctr("spritefs_scale_rounds_total", "rounds",
 		"Channel-clock synchronization rounds the executor ran.",
 		func() int64 { return e.exec.Rounds })

@@ -13,9 +13,10 @@ import (
 )
 
 // fuzzSeeds is the corpus size: each seed derives a random topology
-// (shard count, community size, server groups, link latencies including
-// occasional zero-latency links, remote-traffic mix, fault schedules)
-// that is run sequentially and in parallel at every worker count.
+// (shard count, hierarchical site grouping with random tier pricing,
+// community size, server groups, link latencies including occasional
+// zero-latency links, remote-traffic mix, fault schedules) that is run
+// sequentially and in parallel at every worker count.
 const fuzzSeeds = 50
 
 // fuzzConfig derives one random topology from a seed. Everything —
@@ -25,10 +26,43 @@ const fuzzSeeds = 50
 func fuzzConfig(seed int64) (scale.Config, time.Duration) {
 	rng := sim.NewRand(seed ^ 0x5eedf022)
 
-	shards := 2 + rng.Intn(4)   // 2..5 segments
+	shards := 2 + rng.Intn(7)   // 2..8 segments
 	perShard := 2 + rng.Intn(3) // 2..4 clients each
 	servers := 1 + rng.Intn(3)  // 1..3 servers per shard
 	clients := shards * perShard
+
+	// Half the corpus regroups the segments into a hierarchical topology:
+	// a random divisor of the segment count becomes the site count (the
+	// whole range from 2 sites of several segments down to one segment
+	// per site), with randomly priced tiers including the zero-latency
+	// WAN and zero-latency site-backbone corners the stall-breaker covers.
+	sites := 1
+	var tiers scale.TiersConfig
+	if rng.Bool(0.5) {
+		var divs []int
+		for d := 2; d <= shards; d++ {
+			if shards%d == 0 {
+				divs = append(divs, d)
+			}
+		}
+		sites = divs[rng.Intn(len(divs))]
+		tiers = scale.TiersConfig{
+			Site: scale.Tier{
+				Latency:      time.Duration(rng.Range(float64(20*time.Microsecond), float64(3*time.Millisecond))),
+				BandwidthBps: rng.Range(1e6, 1e9),
+			},
+			WAN: scale.Tier{
+				Latency:      time.Duration(rng.Range(float64(1*time.Millisecond), float64(80*time.Millisecond))),
+				BandwidthBps: rng.Range(1e5, 1e8),
+			},
+		}
+		if rng.Bool(0.15) {
+			tiers.WAN.Latency = 0
+		}
+		if rng.Bool(0.1) {
+			tiers.Site.Latency = 0
+		}
+	}
 
 	p := workload.Default(1000 + seed)
 	p.NumClients = clients
@@ -67,12 +101,17 @@ func fuzzConfig(seed int64) (scale.Config, time.Duration) {
 		BytesMedian:      rng.Range(512, 64*1024),
 		BytesSigma:       rng.Range(0.3, 1.5),
 	}
+	if sites > 1 {
+		remote.SiteAffinity = rng.Range(0, 1)
+	}
 
 	horizon := time.Duration(rng.Range(float64(4*time.Minute), float64(10*time.Minute)))
 
 	cfg := scale.Config{
 		Base:            p,
 		Shards:          shards,
+		Sites:           sites,
+		Tiers:           tiers,
 		ServersPerShard: servers,
 		Router:          router,
 		Remote:          remote,

@@ -70,38 +70,80 @@ type LinkStats struct {
 }
 
 // Router is the inter-segment backbone: it prices every cross-shard
-// message and accounts per-link traffic. Each directed link has its own
-// store-and-forward latency (uniform RouterConfig.Latency unless
-// RouterConfig.LinkLatency differentiates them), which is also the
-// channel-clock executor's per-link lookahead. Routing happens only at
-// round exchanges on the coordinator goroutine, so Router needs no
-// locking.
+// message and accounts per-link traffic. Pricing is layered, bottom up:
+//
+//  1. Flat topology: every link costs RouterConfig.Latency and transmits
+//     at RouterConfig.BandwidthBps.
+//  2. Hierarchical topology: an intra-site link costs one Site-tier hop;
+//     a cross-site link store-and-forwards through source site backbone →
+//     WAN trunk → destination site backbone, so its latency is
+//     2·Site.Latency + WAN.Latency and its transmission time sums the
+//     per-hop Payload/Bandwidth costs.
+//  3. RouterConfig.LinkLatency, when set, overrides the latency of any
+//     individual directed link (the bandwidth keeps its tier pricing).
+//
+// Whatever the layers produce becomes the per-link latency matrix the
+// channel-clock executor uses as lookahead, so a WAN link's high price is
+// also a wide parallelism window. Routing happens only at round exchanges
+// on the coordinator goroutine, so Router needs no locking.
 type Router struct {
-	cfg   RouterConfig
 	lat   [][]time.Duration // [from][to] store-and-forward latency
+	bw    [][]float64       // [from][to] effective end-to-end bandwidth
+	wan   [][]bool          // [from][to] link crosses the WAN tier
 	links [][]LinkStats     // [from][to]
 
 	msgs  int64
 	bytes int64
 	busy  time.Duration
+
+	// Per-tier accounting: index 0 = site tier (intra-site and flat
+	// links), 1 = WAN tier (cross-site links).
+	tierMsgs  [2]int64
+	tierBytes [2]int64
+	tierBusy  [2]time.Duration
 }
 
-// NewRouter returns a router joining n segments.
-func NewRouter(cfg RouterConfig, n int) *Router {
-	links := make([][]LinkStats, n)
-	lat := make([][]time.Duration, n)
-	for i := range links {
-		links[i] = make([]LinkStats, n)
-		lat[i] = make([]time.Duration, n)
-		for j := range lat[i] {
-			l := cfg.Latency
-			if cfg.LinkLatency != nil && i != j {
-				l = cfg.LinkLatency(i, j)
+// NewRouter returns a router joining the topology's segments, pricing
+// each directed link from the tier table (or uniformly from cfg for a
+// flat topology).
+func NewRouter(cfg RouterConfig, tiers TiersConfig, topo Topology) *Router {
+	n := topo.NumShards()
+	r := &Router{
+		lat:   make([][]time.Duration, n),
+		bw:    make([][]float64, n),
+		wan:   make([][]bool, n),
+		links: make([][]LinkStats, n),
+	}
+	for i := 0; i < n; i++ {
+		r.lat[i] = make([]time.Duration, n)
+		r.bw[i] = make([]float64, n)
+		r.wan[i] = make([]bool, n)
+		r.links[i] = make([]LinkStats, n)
+		for j := 0; j < n; j++ {
+			lat := cfg.Latency
+			bw := cfg.BandwidthBps
+			if topo.Sites > 1 && i != j {
+				if topo.SameSite(i, j) {
+					lat = tiers.Site.Latency
+					bw = tiers.Site.BandwidthBps
+				} else {
+					// Store-and-forward: site backbone up, WAN trunk
+					// across, site backbone down. The effective bandwidth
+					// is the harmonic combination of the three hops, so
+					// transmission time stays Payload/bw like a flat link.
+					lat = 2*tiers.Site.Latency + tiers.WAN.Latency
+					bw = 1 / (2/tiers.Site.BandwidthBps + 1/tiers.WAN.BandwidthBps)
+					r.wan[i][j] = true
+				}
 			}
-			lat[i][j] = l
+			if cfg.LinkLatency != nil && i != j {
+				lat = cfg.LinkLatency(i, j)
+			}
+			r.lat[i][j] = lat
+			r.bw[i][j] = bw
 		}
 	}
-	return &Router{cfg: cfg, lat: lat, links: links}
+	return r
 }
 
 // MinLatency is the directed link's store-and-forward latency: the floor
@@ -109,18 +151,28 @@ func NewRouter(cfg RouterConfig, n int) *Router {
 // executor's per-link lookahead. Payload transmission only adds to it.
 func (r *Router) MinLatency(from, to int) time.Duration { return r.lat[from][to] }
 
+// CrossesWAN reports whether the directed link traverses the WAN tier.
+func (r *Router) CrossesWAN(from, to int) bool { return r.wan[from][to] }
+
 // Route prices m, stamps its arrival time, and accounts the transfer.
 func (r *Router) Route(m *Message) {
 	if m.Payload < 0 {
 		panic(fmt.Sprintf("scale: negative payload %d", m.Payload))
 	}
-	xmit := time.Duration(float64(m.Payload) / r.cfg.BandwidthBps * float64(time.Second))
+	xmit := time.Duration(float64(m.Payload) / r.bw[m.From][m.To] * float64(time.Second))
 	m.Arrive = m.Send + r.lat[m.From][m.To] + xmit
 	r.links[m.From][m.To].Msgs++
 	r.links[m.From][m.To].Bytes += m.Payload
 	r.msgs++
 	r.bytes += m.Payload
 	r.busy += xmit
+	tier := 0
+	if r.wan[m.From][m.To] {
+		tier = 1
+	}
+	r.tierMsgs[tier]++
+	r.tierBytes[tier] += m.Payload
+	r.tierBusy[tier] += xmit
 }
 
 // Msgs returns the total messages routed.
@@ -132,6 +184,17 @@ func (r *Router) Bytes() int64 { return r.bytes }
 // Busy returns cumulative backbone transmission time; against elapsed
 // virtual time it gives backbone utilization.
 func (r *Router) Busy() time.Duration { return r.busy }
+
+// TierTraffic returns one tier's accounting: messages, payload bytes and
+// cumulative transmission time. wan=false is the site tier (intra-site
+// and flat-topology links), wan=true the inter-site WAN trunk.
+func (r *Router) TierTraffic(wan bool) (msgs, bytes int64, busy time.Duration) {
+	tier := 0
+	if wan {
+		tier = 1
+	}
+	return r.tierMsgs[tier], r.tierBytes[tier], r.tierBusy[tier]
+}
 
 // Link returns a copy of one directed link's accounting.
 func (r *Router) Link(from, to int) LinkStats { return r.links[from][to] }

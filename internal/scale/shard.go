@@ -26,9 +26,16 @@ type RemoteStats struct {
 	Replies   int64 // completions received back
 	BytesOut  int64 // logical bytes written to remote shards
 	BytesIn   int64 // logical bytes read from remote shards
+	// CrossSiteOps counts the issued requests whose home was in another
+	// site — the ones that traverse the WAN tier (always 0 in a flat
+	// topology).
+	CrossSiteOps int64
 	// Latency is the end-to-end remote operation latency distribution
 	// (request issue to reply arrival), in nanoseconds.
 	Latency stats.Welford
+	// WANLatency is the same distribution restricted to operations that
+	// crossed the WAN tier.
+	WANLatency stats.Welford
 }
 
 // Shard is one Ethernet segment: a hermetic cluster plus the executor's
@@ -136,14 +143,18 @@ func (sh *Shard) earliestSend() sim.Time {
 }
 
 // issueRemote emits one cross-segment operation: pick a remote placed
-// file, pay the local segment hop from the client to the router gateway,
-// and send the request across the backbone.
+// file (site-affine when the topology has sites), pay the local segment
+// hop from the client to the router gateway, and send the request across
+// the backbone.
 func (sh *Shard) issueRemote() {
-	pf, ok := sh.eng.Placement.PickRemote(sh.rng, sh.ID)
+	cfg := sh.eng.Cfg.Remote
+	pf, ok := sh.eng.Placement.PickRemote(sh.rng, sh.ID, cfg.SiteAffinity)
 	if !ok {
 		return
 	}
-	cfg := sh.eng.Cfg.Remote
+	if !sh.eng.topo.SameSite(sh.ID, pf.Shard) {
+		sh.remote.CrossSiteOps++
+	}
 	now := sh.C.Sim.Now()
 	client := int32(sh.rng.Intn(len(sh.C.Clients)))
 	bytes := int64(sh.rng.LogNormal(cfg.BytesMedian, cfg.BytesSigma)) + 1
@@ -203,10 +214,16 @@ func (sh *Shard) serve(m *Message) {
 		srvIdx = 0
 	}
 	srv := sh.C.Servers[srvIdx]
-	// The gateway acts on the local segment as a pseudo-client identified
-	// by the source shard, so remote load is visible in the segment's
-	// per-client accounting without colliding with real workstations.
+	// The gateway acts on the local segment as a pseudo-client, so remote
+	// load is visible in the segment's per-client accounting without
+	// colliding with real workstations. Same-site requests arrive through
+	// a per-source-segment gateway; cross-site requests funnel through
+	// the site's WAN gateway, one pseudo-client per remote site — the
+	// concentration point a real site border router would be.
 	gw := int32(-100 - m.From)
+	if !sh.eng.topo.SameSite(sh.ID, m.From) {
+		gw = int32(-1000 - sh.eng.topo.SiteOf(m.From))
+	}
 	var service time.Duration
 	if m.Kind == RemoteRead {
 		service += srv.ServeSpan(m.File, 0, m.Bytes, now)
@@ -249,6 +266,9 @@ func (sh *Shard) complete(m *Message) {
 	sh.C.Net.RPCTo(netsim.AnyServer, m.Client, class, m.Payload)
 	sh.remote.Replies++
 	sh.remote.Latency.Add(float64(now - m.Issued))
+	if !sh.eng.topo.SameSite(sh.ID, m.From) {
+		sh.remote.WANLatency.Add(float64(now - m.Issued))
+	}
 }
 
 // enqueue adds routed messages to the inbox, restoring the (Arrive, From,

@@ -9,6 +9,7 @@
 package workload_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -113,6 +114,50 @@ func TestSplitStreamInvariance(t *testing.T) {
 	// Distinct shards get distinct seeds (independent streams).
 	if workload.Split(base, 4, 1).Seed == workload.Split(base, 4, 2).Seed {
 		t.Fatal("distinct shards share a seed")
+	}
+}
+
+// TestSplitSiteInvariance pins the site-major level of hierarchical
+// community splitting: shares sum exactly, the degenerate single-site
+// split is the identity, and composed (site, segment) seed pairs are
+// globally unique.
+func TestSplitSiteInvariance(t *testing.T) {
+	base := smallParams(11)
+	base.NumClients = 24
+	base.DailyUsers = 15
+	base.OccasionalUsers = 8
+
+	if got := workload.SplitSite(base, 1, 0); got != base {
+		t.Fatalf("SplitSite(p, 1, 0) must be identity, got %+v", got)
+	}
+
+	var clients, daily, occ, big int
+	for s := 0; s < 3; s++ {
+		ps := workload.SplitSite(base, 3, s)
+		clients += ps.NumClients
+		daily += ps.DailyUsers
+		occ += ps.OccasionalUsers
+		big += ps.BigSimUsers
+	}
+	if clients != base.NumClients || daily != base.DailyUsers || occ != base.OccasionalUsers || big != base.BigSimUsers {
+		t.Fatalf("site shares do not sum: clients %d/%d daily %d/%d occasional %d/%d big %d/%d",
+			clients, base.NumClients, daily, base.DailyUsers, occ, base.OccasionalUsers, big, base.BigSimUsers)
+	}
+
+	// Every (site, segment) pair in a 3×2 grid gets a distinct seed: the
+	// site stride and the segment stride must not collide anywhere on the
+	// grid (they are different odd constants, so sums of small multiples
+	// cannot coincide).
+	seen := map[int64]string{}
+	for s := 0; s < 3; s++ {
+		for j := 0; j < 2; j++ {
+			p := workload.Split(workload.SplitSite(base, 3, s), 2, j)
+			key := fmt.Sprintf("site=%d seg=%d", s, j)
+			if prev, dup := seen[p.Seed]; dup {
+				t.Fatalf("seed collision: %s and %s both got seed %d", prev, key, p.Seed)
+			}
+			seen[p.Seed] = key
+		}
 	}
 }
 

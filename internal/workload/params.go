@@ -312,6 +312,47 @@ func Split(p Params, shards, shard int) Params {
 	return p
 }
 
+// siteSeedStride salts the site level of a hierarchical split. It must
+// differ from seedStride so that (site i, segment j) and (site j, segment
+// i) never derive the same seed: a community split site-major and then
+// segment-wise gets Seed + i*siteSeedStride + j*seedStride, which is
+// unique per (i, j) pair for any grid the population can support.
+const siteSeedStride = 0x5851f42d4c957f2d
+
+// SplitSite carves the community into near-equal site shares — the upper
+// level of the segment → site → WAN hierarchy. It obeys the same two
+// invariants as Split (shares sum exactly to the original population;
+// site i's parameters depend only on the base seed and i), but salts the
+// seed with a different stride, so composing SplitSite with Split yields
+// a distinct deterministic community per (site, segment) pair:
+//
+//	seg := workload.Split(workload.SplitSite(total, sites, s), segs, j)
+//
+// sites must be in [1, NumClients]; SplitSite panics otherwise.
+func SplitSite(p Params, sites, site int) Params {
+	if sites < 1 || sites > p.NumClients {
+		panic("workload: site count out of range [1, NumClients]")
+	}
+	if site < 0 || site >= sites {
+		panic("workload: site index out of range")
+	}
+	share := func(n int) int {
+		v := n / sites
+		if site < n%sites {
+			v++
+		}
+		return v
+	}
+	p.NumClients = share(p.NumClients)
+	p.DailyUsers = share(p.DailyUsers)
+	p.OccasionalUsers = share(p.OccasionalUsers)
+	p.BigSimUsers = share(p.BigSimUsers)
+	if sites > 1 {
+		p.Seed += int64(site) * siteSeedStride
+	}
+	return p
+}
+
 // BSD1985 returns a parameter set approximating the 1985 BSD study's
 // world, the baseline against which the paper measures its "factor of 20"
 // throughput growth: a few 1-MIPS time-shared VAXes instead of personal
