@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke bench benchcheck benchbaseline benchall experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke importcheck bench benchcheck benchbaseline benchall experiments experiments-diff section4 section5 clean
 
 all: check
 
@@ -12,9 +12,11 @@ all: check
 # randomized-schedule smoke with a fixed seed), the parallel-executor
 # byte-identity gate, the steady-state allocation gates, the
 # live-service smoke (a real 5-second wall-clock soak with a mid-run
-# /metrics scrape), and the perf-regression gate against the committed
+# /metrics scrape), the trace-import gate (golden imports, round-trips
+# and worker-invariant replay of foreign traces, plus the runnable
+# pipeline example), and the perf-regression gate against the committed
 # benchmark baselines.
-check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck soaksmoke benchcheck
+check: build vet pkgdoc metricscheck test race faults faultsmoke scalecheck allocscheck soaksmoke importcheck benchcheck
 
 build:
 	$(GO) build ./...
@@ -91,6 +93,18 @@ allocscheck:
 soaksmoke:
 	$(GO) test -race -run TestLiveSoakShort -count=1 ./internal/live
 	$(GO) test -run TestSoakSmoke -count=1 ./cmd/serve
+
+# The trace-import gate: the golden import (a committed text rendering
+# of the sample CSV pipeline), the worker-invariance acceptance test
+# (imported-then-modernized traces replay byte-identically at 1/2/4/8
+# workers), the importer determinism tests, a pass over the fuzz seed
+# corpora, and the runnable end-to-end example.
+importcheck:
+	$(GO) test -run 'TestImportGolden|TestImportedTrace|TestImportCSVDeterministic|TestModernizeDeterministic' -count=1 ./internal/traceio
+	$(GO) test -run '^$$' -fuzz FuzzImportCSV -fuzztime 1x ./internal/traceio
+	$(GO) test -run '^$$' -fuzz FuzzImportStrace -fuzztime 1x ./internal/traceio
+	$(GO) run ./examples/trace-import >/dev/null
+	@echo "importcheck: ok"
 
 # The scale and recovery macro benchmarks, with machine-readable output:
 # BENCH_scale.json records name, ns/op, allocs, clients, shards and

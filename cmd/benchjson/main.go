@@ -53,6 +53,10 @@ type Entry struct {
 	Sites int `json:"sites,omitempty"`
 	Segs  int `json:"segs,omitempty"`
 	Runs  int `json:"runs,omitempty"`
+	// NsSamples holds the sorted per-run ns/op values behind the median
+	// when the input carried -count repetitions; the Mann–Whitney gate
+	// needs the samples, not just their median.
+	NsSamples []float64 `json:"ns_per_op_samples,omitempty"`
 }
 
 // Speedup compares two shard counts of the same benchmark and community.
@@ -86,6 +90,10 @@ type Delta struct {
 	Speedup         float64 `json:"speedup"`
 	BaselineAllocs  int64   `json:"baseline_allocs_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
+	// PValue is the two-sided Mann–Whitney U p-value comparing the two
+	// runs' ns/op samples; zero when either side lacks samples (single-run
+	// entries, or a baseline written before samples were recorded).
+	PValue float64 `json:"p_value,omitempty"`
 }
 
 // Output is the file layout.
@@ -102,11 +110,22 @@ func main() {
 	out := flag.String("o", "", "JSON output file (default stdout)")
 	baseline := flag.String("baseline", "", "earlier benchjson output to compare against (adds a vs_baseline section)")
 	gate := flag.Float64("gate", 0, "fail (exit 1) if any vs_baseline speedup falls below this threshold (requires -baseline)")
+	alpha := flag.Float64("alpha", 0.1, "significance level for the Mann-Whitney gate: a below-gate benchmark only fails when its p-value is <= alpha (or no samples exist to test)")
 	history := flag.String("history", "", "append one JSON line summarizing this run to the named file")
+	histSummary := flag.String("history-summary", "", "render the named history file as a per-benchmark TSV trend table and exit")
 	flag.Parse()
 
+	if *histSummary != "" {
+		if err := summarizeHistory(*histSummary, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *gate != 0 && *baseline == "" {
 		fatal(fmt.Errorf("-gate requires -baseline"))
+	}
+	if *alpha <= 0 || *alpha >= 1 {
+		fatal(fmt.Errorf("-alpha must be in (0, 1), got %g", *alpha))
 	}
 
 	r := io.Reader(os.Stdin)
@@ -146,7 +165,7 @@ func main() {
 		}
 	}
 	if *gate != 0 {
-		if err := o.checkGate(*gate); err != nil {
+		if err := o.checkGate(*gate, *alpha); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: gate %.2f passed for %d benchmarks\n", *gate, len(o.VsBaseline))
@@ -217,6 +236,7 @@ func aggregate(raw []Entry) []Entry {
 			e.NsPerOp = median(ns)
 			e.BytesPerOp = int64(median(bytes))
 			e.AllocsPerOp = int64(median(allocs))
+			e.NsSamples = ns // median() sorted them in place
 		}
 		out = append(out, e)
 	}
@@ -256,14 +276,18 @@ func (o *Output) compareBaseline(path string) error {
 		if !ok || b.NsPerOp == 0 {
 			continue
 		}
-		o.VsBaseline = append(o.VsBaseline, Delta{
+		d := Delta{
 			Name:            e.Name,
 			BaselineNsPerOp: b.NsPerOp,
 			NsPerOp:         e.NsPerOp,
 			Speedup:         b.NsPerOp / e.NsPerOp,
 			BaselineAllocs:  b.AllocsPerOp,
 			AllocsPerOp:     e.AllocsPerOp,
-		})
+		}
+		if p, ok := uTest(b.NsSamples, e.NsSamples); ok {
+			d.PValue = p
+		}
+		o.VsBaseline = append(o.VsBaseline, d)
 	}
 	if len(o.VsBaseline) == 0 {
 		return fmt.Errorf("-baseline %s: no benchmark names in common", path)
@@ -273,14 +297,30 @@ func (o *Output) compareBaseline(path string) error {
 
 // checkGate fails when any vs_baseline speedup is below min — e.g. with
 // -gate 0.85, a benchmark more than 15% slower than its committed
-// baseline fails the build.
-func (o *Output) checkGate(min float64) error {
+// baseline fails the build. A below-gate benchmark whose Mann–Whitney
+// p-value exceeds alpha is reported as noise, not failed: the two sample
+// sets are statistically indistinguishable, so the median shift carries
+// no evidence of a real regression (benchstat's "~"). Benchmarks without
+// samples on both sides are gated on the median alone, as before.
+func (o *Output) checkGate(min, alpha float64) error {
 	var bad []string
+	noisy := 0
 	for _, d := range o.VsBaseline {
-		if d.Speedup < min {
-			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (speedup %.2f < gate %.2f)",
-				d.Name, d.NsPerOp, d.BaselineNsPerOp, d.Speedup, min))
+		if d.Speedup >= min {
+			continue
 		}
+		if d.PValue > alpha {
+			noisy++
+			fmt.Fprintf(os.Stderr, "benchjson: %s below gate (speedup %.2f) but not significant (p=%.3f > %.2f); ignoring\n",
+				d.Name, d.Speedup, d.PValue, alpha)
+			continue
+		}
+		msg := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (speedup %.2f < gate %.2f",
+			d.Name, d.NsPerOp, d.BaselineNsPerOp, d.Speedup, min)
+		if d.PValue > 0 {
+			msg += fmt.Sprintf(", p=%.3f", d.PValue)
+		}
+		bad = append(bad, msg+")")
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("perf regression gate failed:\n  %s", strings.Join(bad, "\n  "))
@@ -333,6 +373,80 @@ func (o *Output) appendHistory(path, source string, now time.Time) error {
 		return fmt.Errorf("-history: %w", err)
 	}
 	return nil
+}
+
+// summarizeHistory renders an appended BENCH_history.jsonl as a
+// per-benchmark TSV trend table: one row per benchmark, one column per
+// recorded run (chronological file order), plus a trend column of
+// last-over-first — above 1.0 the benchmark got slower over the log.
+func summarizeHistory(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("-history-summary: %w", err)
+	}
+	defer f.Close()
+	var lines []historyLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var h historyLine
+		if err := json.Unmarshal([]byte(text), &h); err != nil {
+			return fmt.Errorf("-history-summary %s line %d: %w", path, len(lines)+1, err)
+		}
+		lines = append(lines, h)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("-history-summary: %s holds no history lines", path)
+	}
+	names := map[string]bool{}
+	for _, h := range lines {
+		for name := range h.NsPerOp {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d runs, %s .. %s (ns/op; '-' = benchmark absent from that run)\n",
+		len(lines), lines[0].Time, lines[len(lines)-1].Time)
+	fmt.Fprint(bw, "benchmark")
+	for _, h := range lines {
+		fmt.Fprintf(bw, "\t%s", h.Time)
+	}
+	fmt.Fprint(bw, "\ttrend\n")
+	for _, name := range sorted {
+		fmt.Fprint(bw, name)
+		var first, last float64
+		for _, h := range lines {
+			v, ok := h.NsPerOp[name]
+			if !ok {
+				fmt.Fprint(bw, "\t-")
+				continue
+			}
+			if first == 0 {
+				first = v
+			}
+			last = v
+			fmt.Fprintf(bw, "\t%.0f", v)
+		}
+		if first > 0 && last > 0 {
+			fmt.Fprintf(bw, "\t%.2fx\n", last/first)
+		} else {
+			fmt.Fprint(bw, "\t-\n")
+		}
+	}
+	return bw.Flush()
 }
 
 // parseLine decodes one testing-package benchmark line:

@@ -188,7 +188,7 @@ func TestCheckGate(t *testing.T) {
 		{Name: "BenchmarkFast", BaselineNsPerOp: 100, NsPerOp: 50, Speedup: 2.0},
 		{Name: "BenchmarkSlow", BaselineNsPerOp: 100, NsPerOp: 125, Speedup: 0.8},
 	}}
-	err := o.checkGate(0.85)
+	err := o.checkGate(0.85, 0.1)
 	if err == nil {
 		t.Fatal("20% regression passed a 0.85 gate")
 	}
@@ -196,7 +196,7 @@ func TestCheckGate(t *testing.T) {
 		t.Errorf("gate error names the wrong benchmarks: %v", err)
 	}
 	o.VsBaseline = o.VsBaseline[:1]
-	if err := o.checkGate(0.85); err != nil {
+	if err := o.checkGate(0.85, 0.1); err != nil {
 		t.Errorf("pure speedup failed the gate: %v", err)
 	}
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// uTest computes the two-sided Mann–Whitney U test p-value for two
+// independent samples — the benchstat approach to "is this benchmark
+// actually slower, or is the machine just noisy?". With tie-free samples
+// small enough to enumerate it uses the exact permutation distribution of
+// U; with ties or larger samples it falls back to the normal
+// approximation with tie correction and continuity correction. ok is
+// false when either sample is too small to say anything (fewer than two
+// runs).
+func uTest(x, y []float64) (p float64, ok bool) {
+	n1, n2 := len(x), len(y)
+	if n1 < 2 || n2 < 2 {
+		return 0, false
+	}
+	// Rank the pooled samples, mid-ranks for ties.
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	var r1 float64     // rank sum of sample x
+	var tieSum float64 // Σ(t³-t) over tie groups, for the variance correction
+	ties := false
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieSum += float64(t*t*t - t)
+		}
+		rank := float64(i+j+1) / 2 // mid-rank of positions i..j-1 (1-based)
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		i = j
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	uMin := math.Min(u1, u2)
+
+	if !ties && n1 <= 12 && n2 <= 12 {
+		return exactU(int(uMin), n1, n2), true
+	}
+	// Normal approximation: z on the smaller tail with continuity
+	// correction, variance corrected for ties.
+	n := float64(n1 + n2)
+	mu := float64(n1*n2) / 2
+	sigma2 := float64(n1*n2) / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if sigma2 <= 0 {
+		// Every pooled value identical: no evidence of any difference.
+		return 1, true
+	}
+	z := (uMin - mu + 0.5) / math.Sqrt(sigma2)
+	p = math.Erfc(math.Abs(z) / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return p, true
+}
+
+// exactU computes the exact two-sided p-value 2·P(U <= u) by dynamic
+// programming on c(i,j,v), the number of interleavings of i x's and j y's
+// whose U statistic is v: c(i,j,v) = c(i-1,j,v-j) + c(i,j-1,v) (the last
+// element is either an x, which was passed by all j y's, or a y).
+func exactU(u, n1, n2 int) float64 {
+	umax := n1 * n2
+	if u > umax {
+		u = umax
+	}
+	// c[j][v] for the current i; i=0 has a single arrangement with U=0
+	// for every j.
+	c := make([][]float64, n2+1)
+	for j := range c {
+		c[j] = make([]float64, umax+1)
+		c[j][0] = 1
+	}
+	for i := 1; i <= n1; i++ {
+		next := make([][]float64, n2+1)
+		for j := 0; j <= n2; j++ {
+			next[j] = make([]float64, umax+1)
+			for v := 0; v <= i*j; v++ {
+				var sum float64
+				if v-j >= 0 {
+					sum += c[j][v-j]
+				}
+				if j > 0 {
+					sum += next[j-1][v]
+				}
+				next[j][v] = sum
+			}
+		}
+		c = next
+	}
+	total := binom(n1+n2, n1)
+	var tail float64
+	for v := 0; v <= u; v++ {
+		tail += c[n2][v]
+	}
+	p := 2 * tail / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// binom computes C(n, k) in floats (exact at the sample sizes used here).
+func binom(n, k int) float64 {
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}

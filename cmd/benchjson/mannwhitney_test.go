@@ -1,0 +1,165 @@
+package main
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestUTestExact(t *testing.T) {
+	// Complete separation at 3v3: U=0, p = 2/C(6,3) = 0.1 — the smallest
+	// p-value three runs a side can produce (benchstat's count=3 floor).
+	p, ok := uTest([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if !ok || math.Abs(p-0.1) > 1e-12 {
+		t.Errorf("3v3 separation: p=%v ok=%v, want 0.1", p, ok)
+	}
+	// Complete separation at 5v5: p = 2/C(10,5) = 2/252.
+	p, ok = uTest([]float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10})
+	if !ok || math.Abs(p-2.0/252) > 1e-12 {
+		t.Errorf("5v5 separation: p=%v ok=%v, want %v", p, ok, 2.0/252)
+	}
+	// Direction must not matter.
+	q, _ := uTest([]float64{6, 7, 8, 9, 10}, []float64{1, 2, 3, 4, 5})
+	if math.Abs(p-q) > 1e-12 {
+		t.Errorf("asymmetric p: %v vs %v", p, q)
+	}
+	// Fully interleaved samples are indistinguishable: p must be large.
+	p, _ = uTest([]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8})
+	if p < 0.5 {
+		t.Errorf("interleaved samples look significant: p=%v", p)
+	}
+	// p is a probability.
+	if p > 1 {
+		t.Errorf("p=%v > 1", p)
+	}
+}
+
+func TestUTestTiesAndDegenerate(t *testing.T) {
+	// Too few samples on either side: no verdict.
+	if _, ok := uTest([]float64{1}, []float64{2, 3}); ok {
+		t.Error("single-sample side produced a p-value")
+	}
+	if _, ok := uTest(nil, []float64{2, 3}); ok {
+		t.Error("empty side produced a p-value")
+	}
+	// All pooled values identical: maximal p, not a crash.
+	p, ok := uTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if !ok || p != 1 {
+		t.Errorf("identical samples: p=%v ok=%v, want 1", p, ok)
+	}
+	// Ties fall back to the normal approximation and stay in range.
+	p, ok = uTest([]float64{1, 1, 2, 3}, []float64{3, 4, 4, 5})
+	if !ok || p <= 0 || p > 1 {
+		t.Errorf("tied samples: p=%v ok=%v", p, ok)
+	}
+}
+
+// TestAggregateKeepsSamples pins that -count repetitions retain their
+// sorted per-run samples for the significance test.
+func TestAggregateKeepsSamples(t *testing.T) {
+	const in = `
+BenchmarkHot-4  10  300.0 ns/op
+BenchmarkHot-4  10  100.0 ns/op
+BenchmarkHot-4  10  200.0 ns/op
+`
+	o, err := Convert(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := o.Benchmarks[0]
+	if len(e.NsSamples) != 3 || e.NsSamples[0] != 100 || e.NsSamples[2] != 300 {
+		t.Errorf("samples not kept sorted: %+v", e.NsSamples)
+	}
+}
+
+// TestCheckGateSignificance pins the Mann–Whitney gating: a below-gate
+// median shift with an insignificant p-value is noise and passes; the
+// same shift with strong significance (or no samples at all) fails.
+func TestCheckGateSignificance(t *testing.T) {
+	noisy := &Output{VsBaseline: []Delta{
+		{Name: "BenchmarkNoisy", BaselineNsPerOp: 100, NsPerOp: 125, Speedup: 0.8, PValue: 0.7},
+	}}
+	if err := noisy.checkGate(0.85, 0.1); err != nil {
+		t.Errorf("insignificant regression failed the gate: %v", err)
+	}
+	real := &Output{VsBaseline: []Delta{
+		{Name: "BenchmarkReal", BaselineNsPerOp: 100, NsPerOp: 125, Speedup: 0.8, PValue: 0.008},
+	}}
+	err := real.checkGate(0.85, 0.1)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkReal") {
+		t.Errorf("significant regression passed the gate: %v", err)
+	}
+	// No samples on either side: median-only gating, as before samples
+	// existed.
+	legacy := &Output{VsBaseline: []Delta{
+		{Name: "BenchmarkLegacy", BaselineNsPerOp: 100, NsPerOp: 125, Speedup: 0.8},
+	}}
+	if err := legacy.checkGate(0.85, 0.1); err == nil {
+		t.Error("sample-less regression passed the gate")
+	}
+}
+
+// TestSummarizeHistory pins the trend-table rendering: one row per
+// benchmark, '-' for runs it was absent from, last-over-first trend.
+func TestSummarizeHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/hist.jsonl"
+	content := `{"time":"2026-01-01T00:00:00Z","source":"a","ns_per_op":{"BenchmarkA":100,"BenchmarkB":50}}
+{"time":"2026-01-02T00:00:00Z","source":"b","ns_per_op":{"BenchmarkA":200}}
+`
+	if err := writeFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := summarizeHistory(path, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "BenchmarkA\t100\t200\t2.00x") {
+		t.Errorf("trend row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkB\t50\t-\t1.00x") {
+		t.Errorf("absent-run cell wrong:\n%s", out)
+	}
+	if err := summarizeHistory(dir+"/missing.jsonl", &b); err == nil {
+		t.Error("missing history file accepted")
+	}
+	if err := writeFile(dir+"/empty.jsonl", "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarizeHistory(dir+"/empty.jsonl", &b); err == nil {
+		t.Error("empty history file accepted")
+	}
+}
+
+// TestCompareBaselinePValue pins the end-to-end wiring: sampled entries
+// on both sides produce a p-value in the delta.
+func TestCompareBaselinePValue(t *testing.T) {
+	base, err := Convert(strings.NewReader(`
+BenchmarkX-4  1  100.0 ns/op
+BenchmarkX-4  1  101.0 ns/op
+BenchmarkX-4  1  102.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Convert(strings.NewReader(`
+BenchmarkX-4  1  200.0 ns/op
+BenchmarkX-4  1  201.0 ns/op
+BenchmarkX-4  1  202.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{base.Benchmarks[0].Name: base.Benchmarks[0]}
+	b := byName["BenchmarkX"]
+	p, ok := uTest(b.NsSamples, cur.Benchmarks[0].NsSamples)
+	if !ok || math.Abs(p-0.1) > 1e-12 {
+		t.Errorf("3v3 separated runs: p=%v ok=%v, want 0.1", p, ok)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -33,9 +33,9 @@ import (
 // memprofile) apply everywhere.
 var flagScope = map[string][]string{
 	"traces":         {"all", "section4"},
-	"hours":          {"all", "section4", "faults", "timeseries", "scale", "wanscale"},
+	"hours":          {"all", "section4", "faults", "timeseries", "scale", "wanscale", "workloads"},
 	"days":           {"all", "section5"},
-	"scale":          {"all", "section4", "section5", "faults", "timeseries"},
+	"scale":          {"all", "section4", "section5", "faults", "timeseries", "workloads"},
 	"cdfdir":         {"all", "section4"},
 	"faults":         {"faults"},
 	"metrics-out":    {"timeseries"},
@@ -50,7 +50,7 @@ var flagScope = map[string][]string{
 	"lean":           {"wanscale"},
 }
 
-var validExps = []string{"all", "section4", "section5", "faults", "timeseries", "scale", "wanscale"}
+var validExps = []string{"all", "section4", "section5", "faults", "timeseries", "scale", "wanscale", "workloads"}
 
 // validateFlags fails fast on unknown -exp names and on contradictory
 // combinations instead of silently running the default.
@@ -95,7 +95,7 @@ func validateFlags(exp string, set map[string]bool, metricsFmt string) error {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries, scale, wanscale")
+		exp     = flag.String("exp", "all", "experiment: all, section4, section5, faults, timeseries, scale, wanscale, workloads")
 		traces  = flag.String("traces", "1,2,3,4,5,6,7,8", "comma-separated trace numbers for section4")
 		hours   = flag.Float64("hours", 24, "simulated hours per trace")
 		days    = flag.Float64("days", 14, "simulated days for the counter study")
@@ -224,6 +224,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(core.ScaleTables(r))
+	}
+
+	if *exp == "workloads" {
+		wlHours := *hours
+		if !setFlags["hours"] {
+			wlHours = 0 // RunWorkloadStudy's 2h default, not the trace studies' 24h
+		}
+		fmt.Fprintf(os.Stderr, "running workload study (%.1fh per community, scale %.2f)...\n",
+			wlHours, *scale)
+		r := core.RunWorkloadStudy(core.WorkloadOptions{
+			Hours: wlHours, Scale: *scale, Seed: *seed,
+		})
+		fmt.Println(core.WorkloadTables(r))
 	}
 
 	if *exp == "wanscale" {

@@ -44,6 +44,7 @@ import (
 	"spritefs/internal/replay"
 	"spritefs/internal/shutdown"
 	"spritefs/internal/trace"
+	"spritefs/internal/traceio"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	var (
 		tracePaths = fs.String("trace", "", "comma-separated trace files (binary or text; merged in time order)")
+		importFmt  = fs.String("import", "", "treat the trace files as foreign dumps: csv | strace (see cmd/tracefmt)")
+		mapSpec    = fs.String("map", "", "column mapping for -import csv, e.g. 'time=0,op=2,path=3,unit=ms'")
 		speed      = fs.Float64("speed", 1, "time scale: 2 = twice recorded speed, 0 = as fast as possible")
 		sweep      = fs.String("sweep", "", "sweep axis, e.g. cache=512,2048,8192 | wb=5s,30s | mode=sprite,poll | poll=5s,30s")
 		shardsN    = fs.Int("shards", 0, "partition the trace's clients across N shards and replay each hermetically")
@@ -98,6 +101,9 @@ func run(args []string, out io.Writer) (err error) {
 	case "summary", "tables", "tsv":
 	default:
 		return fmt.Errorf("unknown -report style %q (want summary, tables or tsv)", *report)
+	}
+	if set["map"] && *importFmt != "csv" {
+		return fmt.Errorf("-map only applies to -import csv")
 	}
 	if set["workers"] && *sweep == "" && *shardsN == 0 {
 		return fmt.Errorf("-workers only applies to -sweep and -shards runs")
@@ -186,7 +192,7 @@ func run(args []string, out io.Writer) (err error) {
 		})
 	}
 
-	stream, closeAll, err := openTraces(paths)
+	stream, closeAll, err := openTraces(paths, *importFmt, *mapSpec, *servers)
 	if err != nil {
 		return err
 	}
@@ -359,9 +365,44 @@ func openTrace(path string) (trace.Stream, io.Closer, error) {
 	return s, f, nil
 }
 
+// importTrace runs a foreign dump through the traceio importer, returning
+// the records as a resident stream. The import report goes to stderr.
+func importTrace(path, format, mapSpec string, servers int) (trace.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	opt := traceio.Options{NumServers: servers}
+	var (
+		recs []trace.Record
+		rep  *traceio.ImportReport
+	)
+	switch format {
+	case "csv":
+		m := traceio.DefaultCSVMapping()
+		if mapSpec != "" {
+			if m, err = traceio.ParseCSVMapping(mapSpec); err != nil {
+				return nil, err
+			}
+		}
+		recs, rep, err = traceio.ImportCSV(bufio.NewReaderSize(f, 64<<10), m, opt)
+	case "strace":
+		recs, rep, err = traceio.ImportStrace(bufio.NewReaderSize(f, 64<<10), opt)
+	default:
+		return nil, fmt.Errorf("unknown -import format %q (want csv or strace)", format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprint(os.Stderr, rep.String())
+	return trace.NewSliceStream(recs), nil
+}
+
 // openTraces opens every file and merges them into one time-ordered
-// stream, as the analysis pipeline merges per-server trace files.
-func openTraces(paths []string) (trace.Stream, func(), error) {
+// stream, as the analysis pipeline merges per-server trace files. With
+// importFmt set, each file is a foreign dump converted on the fly.
+func openTraces(paths []string, importFmt, mapSpec string, servers int) (trace.Stream, func(), error) {
 	var (
 		streams []trace.Stream
 		closers []io.Closer
@@ -372,6 +413,15 @@ func openTraces(paths []string) (trace.Stream, func(), error) {
 		}
 	}
 	for _, p := range paths {
+		if importFmt != "" {
+			s, err := importTrace(p, importFmt, mapSpec, servers)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			streams = append(streams, s)
+			continue
+		}
 		s, c, err := openTrace(p)
 		if err != nil {
 			closeAll()

@@ -204,6 +204,7 @@ func New(cfg Config) *Cluster {
 	}
 	RegisterComponents(c.Reg, c.Sim, regClients, c.Servers, c.Net, c.Injector)
 	c.Engine = workload.NewEngine(c.Sim, p, c.Registry, hosts)
+	c.Engine.RegisterMetrics(c.Reg)
 	c.Engine.OnMigrate = func(user, pid, from, to int32) {
 		c.Emit(trace.Record{
 			Time:   c.Sim.Now(),

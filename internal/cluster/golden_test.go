@@ -72,12 +72,15 @@ func TestGoldenReport(t *testing.T) {
 	t.Fatalf("report drifted: line counts differ (got %d, want %d)", len(gl), len(wl))
 }
 
-// stripSimGauges drops the spritefs_sim_* families (and their HELP/TYPE
-// headers) from a prom dump.
+// stripSimGauges drops the families added after the golden file was
+// generated (and their HELP/TYPE headers) from a prom dump: the
+// spritefs_sim_* scheduler gauges and the spritefs_workload_* offered-load
+// counters. Both are additive instrumentation over state that already
+// existed; the simulated-model families remain pinned byte-for-byte.
 func stripSimGauges(s string) string {
 	var b strings.Builder
 	for _, line := range strings.SplitAfter(s, "\n") {
-		if strings.Contains(line, "spritefs_sim_") {
+		if strings.Contains(line, "spritefs_sim_") || strings.Contains(line, "spritefs_workload_") {
 			continue
 		}
 		b.WriteString(line)

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spritefs/internal/workload"
+)
+
+func TestRunWorkloadStudy(t *testing.T) {
+	r := RunWorkloadStudy(WorkloadOptions{Hours: 0.25, Scale: 0.2})
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	byName := map[string]WorkloadRow{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	stream := byName["streaming"]
+	if stream.Programs == 0 {
+		t.Error("no streaming sessions ran")
+	}
+	if stream.ReadMB == 0 {
+		t.Error("streaming community read nothing")
+	}
+	farm := byName["build-farm"]
+	if farm.Programs == 0 {
+		t.Error("no build-farm programs ran")
+	}
+	if farm.Migrations == 0 {
+		t.Error("build farm triggered no migrations")
+	}
+	if byName["sprite-1991"].AllPrograms == 0 {
+		t.Error("baseline community ran nothing")
+	}
+
+	out := WorkloadTables(r)
+	for _, want := range []string{"Modern workloads", "streaming", "build-farm",
+		workload.AppStream.String(), workload.AppBuildFarm.String()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workload report missing %q", want)
+		}
+	}
+}

@@ -19,26 +19,46 @@ const (
 	magic      = "SPRTRC"
 	version    = uint16(1)
 	recordSize = 8 + 1 + 1 + 2 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 // = 64
+
+	// MaxVersion is the newest header version this codec understands. The
+	// record layout is identical across versions; version 2 marks streams
+	// that were imported from a foreign format (or otherwise derived) by
+	// internal/traceio, so that Merge can refuse to interleave them with
+	// native captures whose timebases and ID spaces are unrelated.
+	MaxVersion = uint16(2)
 )
 
 // Writer encodes records to an io.Writer in binary format.
 type Writer struct {
 	w   *bufio.Writer
 	n   int64
+	ver uint16
 	buf [recordSize]byte
 	err error
 }
 
-// NewWriter returns a Writer that writes the file header immediately.
+// NewWriter returns a Writer that writes the version-1 file header
+// immediately. Version 1 is the native-capture version; importers use
+// NewWriterVersion to stamp derived streams.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterVersion(w, version)
+}
+
+// NewWriterVersion is NewWriter with an explicit header version in
+// [1, MaxVersion]. The record layout is the same for every version; the
+// header version only declares which lineage the stream belongs to.
+func NewWriterVersion(w io.Writer, ver uint16) (*Writer, error) {
+	if ver < 1 || ver > MaxVersion {
+		return nil, fmt.Errorf("trace: cannot write version %d (supported: 1..%d)", ver, MaxVersion)
+	}
 	bw := bufio.NewWriterSize(w, 64<<10)
 	var hdr [8]byte
 	copy(hdr[:], magic)
-	binary.LittleEndian.PutUint16(hdr[6:], version)
+	binary.LittleEndian.PutUint16(hdr[6:], ver)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, ver: ver}, nil
 }
 
 // Write appends one record. Errors are sticky.
@@ -70,6 +90,9 @@ func (w *Writer) Write(r *Record) error {
 // Count returns the number of records written.
 func (w *Writer) Count() int64 { return w.n }
 
+// Version returns the header version this writer stamped.
+func (w *Writer) Version() uint16 { return w.ver }
+
 // Flush flushes buffered data to the underlying writer.
 func (w *Writer) Flush() error {
 	if w.err != nil {
@@ -85,6 +108,7 @@ func (w *Writer) Flush() error {
 // Reader decodes a binary trace stream. It implements Stream.
 type Reader struct {
 	r   *bufio.Reader
+	ver uint16
 	buf [recordSize]byte
 }
 
@@ -98,11 +122,15 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(hdr[:6]) != magic {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[:6])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[6:]); v != version {
+	v := binary.LittleEndian.Uint16(hdr[6:])
+	if v < 1 || v > MaxVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, ver: v}, nil
 }
+
+// Version returns the header version declared by the stream.
+func (r *Reader) Version() uint16 { return r.ver }
 
 // Next returns the next record, or io.EOF at end of stream. A truncated
 // final record is reported as io.ErrUnexpectedEOF.

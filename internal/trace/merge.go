@@ -2,8 +2,18 @@ package trace
 
 import (
 	"container/heap"
+	"fmt"
 	"io"
 )
+
+// Versioned is implemented by streams that know which header version they
+// were decoded from (Reader and TextReader). Merge uses it to refuse to
+// interleave streams from different format lineages; streams that do not
+// implement it (in-memory SliceStreams, filters) are compatible with
+// anything.
+type Versioned interface {
+	Version() uint16
+}
 
 // Merge combines several time-ordered streams (one per file server, as in
 // the paper's per-server trace files) into a single time-ordered stream via
@@ -11,8 +21,29 @@ import (
 //
 // Merge also performs the paper's scrub step: records flagged FlagSelfTrace
 // (the tracing machinery's own writes and the nightly backup) are dropped.
+//
+// Streams that declare a header version (see Versioned) must all declare
+// the same one: a version-1 native capture and a version-2 imported trace
+// have unrelated timebases and ID spaces, so interleaving them would
+// silently produce garbage. Mixing versions yields a stream whose Next
+// returns an error immediately.
 func Merge(streams ...Stream) Stream {
 	m := &merger{}
+	seenVer := uint16(0)
+	for _, s := range streams {
+		v, ok := s.(Versioned)
+		if !ok {
+			continue
+		}
+		switch {
+		case seenVer == 0:
+			seenVer = v.Version()
+		case seenVer != v.Version():
+			m.err = fmt.Errorf("trace: cannot merge streams with differing header versions %d and %d",
+				seenVer, v.Version())
+			return m
+		}
+	}
 	for i, s := range streams {
 		src := &mergeSrc{stream: s, idx: i}
 		if src.advance() {

@@ -18,24 +18,43 @@ import (
 // The first line is a header beginning with '#'. Fields are decimal except
 // file and handle, which are hex.
 
-// textHeader identifies a text-format trace.
+// textHeader identifies a text-format trace. Version-1 streams use the
+// bare header (backward compatible); higher versions append "\tv<N>".
 const textHeader = "#sprtrc\ttime_ns\tkind\tflags\tserver\tclient\tuser\tproc\tfile\thandle\toffset\tlength\tsize"
 
 // TextWriter encodes records as text lines.
 type TextWriter struct {
 	w   *bufio.Writer
 	n   int64
+	ver uint16
 	err error
 }
 
-// NewTextWriter writes the header line and returns a text encoder.
+// NewTextWriter writes the version-1 header line and returns a text encoder.
 func NewTextWriter(w io.Writer) (*TextWriter, error) {
+	return NewTextWriterVersion(w, version)
+}
+
+// NewTextWriterVersion is NewTextWriter with an explicit header version in
+// [1, MaxVersion]. Versions above 1 append a "v<N>" column to the header
+// line; the record lines are identical across versions.
+func NewTextWriterVersion(w io.Writer, ver uint16) (*TextWriter, error) {
+	if ver < 1 || ver > MaxVersion {
+		return nil, fmt.Errorf("trace: cannot write version %d (supported: 1..%d)", ver, MaxVersion)
+	}
+	hdr := textHeader
+	if ver > 1 {
+		hdr += fmt.Sprintf("\tv%d", ver)
+	}
 	bw := bufio.NewWriterSize(w, 64<<10)
-	if _, err := bw.WriteString(textHeader + "\n"); err != nil {
+	if _, err := bw.WriteString(hdr + "\n"); err != nil {
 		return nil, fmt.Errorf("trace: writing text header: %w", err)
 	}
-	return &TextWriter{w: bw}, nil
+	return &TextWriter{w: bw, ver: ver}, nil
 }
+
+// Version returns the header version this writer stamped.
+func (t *TextWriter) Version() uint16 { return t.ver }
 
 // Write appends one record as a line. Errors are sticky.
 func (t *TextWriter) Write(r *Record) error {
@@ -75,6 +94,7 @@ var kindByName = func() map[string]Kind {
 // TextReader decodes text-format traces. It implements Stream.
 type TextReader struct {
 	s    *bufio.Scanner
+	ver  uint16
 	line int
 }
 
@@ -91,8 +111,20 @@ func NewTextReader(r io.Reader) (*TextReader, error) {
 	if !strings.HasPrefix(s.Text(), "#sprtrc") {
 		return nil, fmt.Errorf("trace: not a text trace (header %q)", s.Text())
 	}
-	return &TextReader{s: s, line: 1}, nil
+	ver := version
+	fields := strings.Split(strings.TrimRight(s.Text(), "\n"), "\t")
+	if last := fields[len(fields)-1]; len(last) > 1 && last[0] == 'v' {
+		v, err := strconv.ParseUint(last[1:], 10, 16)
+		if err != nil || v < 1 || uint16(v) > MaxVersion {
+			return nil, fmt.Errorf("trace: unsupported text-trace version %q", last)
+		}
+		ver = uint16(v)
+	}
+	return &TextReader{s: s, ver: ver, line: 1}, nil
 }
+
+// Version returns the header version declared by the stream.
+func (t *TextReader) Version() uint16 { return t.ver }
 
 // Next returns the next record or io.EOF.
 func (t *TextReader) Next() (Record, error) {

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeVersioned(t *testing.T, ver uint16, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterVersion(&buf, ver)
+	if err != nil {
+		t.Fatalf("NewWriterVersion(%d): %v", ver, err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryVersionRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: time.Second, Kind: KindOpen, File: 0x42, Handle: 1},
+		{Time: 2 * time.Second, Kind: KindClose, File: 0x42, Handle: 1},
+	}
+	for _, ver := range []uint16{1, 2} {
+		r, err := NewReader(bytes.NewReader(writeVersioned(t, ver, recs)))
+		if err != nil {
+			t.Fatalf("v%d: NewReader: %v", ver, err)
+		}
+		if got := r.Version(); got != ver {
+			t.Fatalf("Version() = %d, want %d", got, ver)
+		}
+		got, err := Collect(r)
+		if err != nil {
+			t.Fatalf("v%d: Collect: %v", ver, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("v%d: got %d records, want %d", ver, len(got), len(recs))
+		}
+	}
+}
+
+func TestWriterRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriterVersion(&buf, 0); err == nil {
+		t.Fatal("NewWriterVersion(0) succeeded, want error")
+	}
+	if _, err := NewWriterVersion(&buf, MaxVersion+1); err == nil {
+		t.Fatalf("NewWriterVersion(%d) succeeded, want error", MaxVersion+1)
+	}
+	if _, err := NewTextWriterVersion(io.Discard, MaxVersion+1); err == nil {
+		t.Fatalf("NewTextWriterVersion(%d) succeeded, want error", MaxVersion+1)
+	}
+}
+
+func TestTextVersionRoundTrip(t *testing.T) {
+	rec := Record{Time: time.Second, Kind: KindRead, File: 7, Handle: 9, Length: 100}
+	for _, ver := range []uint16{1, 2} {
+		var buf bytes.Buffer
+		w, err := NewTextWriterVersion(&buf, ver)
+		if err != nil {
+			t.Fatalf("NewTextWriterVersion(%d): %v", ver, err)
+		}
+		if err := w.Write(&rec); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		r, err := NewTextReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d: NewTextReader: %v", ver, err)
+		}
+		if got := r.Version(); got != ver {
+			t.Fatalf("text Version() = %d, want %d", got, ver)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: got %+v, want %+v", got, rec)
+		}
+	}
+}
+
+func TestMergeRejectsMixedVersions(t *testing.T) {
+	recs := []Record{{Time: time.Second, Kind: KindOpen, File: 1, Handle: 1}}
+	r1, err := NewReader(bytes.NewReader(writeVersioned(t, 1, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader(bytes.NewReader(writeVersioned(t, 2, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(r1, r2)
+	if _, err := m.Next(); err == nil || !strings.Contains(err.Error(), "differing header versions") {
+		t.Fatalf("Merge(v1, v2).Next() err = %v, want version-mismatch error", err)
+	}
+}
+
+func TestMergeAcceptsMatchingAndUnversioned(t *testing.T) {
+	recs := []Record{{Time: time.Second, Kind: KindOpen, File: 1, Handle: 1}}
+	r1, err := NewReader(bytes.NewReader(writeVersioned(t, 2, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader(bytes.NewReader(writeVersioned(t, 2, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewSliceStream(recs)
+	got, err := Collect(Merge(r1, r2, mem))
+	if err != nil {
+		t.Fatalf("Merge of matching versions failed: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+}

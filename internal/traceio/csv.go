@@ -1,0 +1,370 @@
+package traceio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// CSVMapping describes how the columns of a CSV/TSV I/O trace map onto the
+// native record fields. Column indexes are zero-based; -1 marks a field the
+// dump does not carry. The defaults fit a minimal
+// "time,client,op,path,offset,length" dump; SNIA-style layouts are covered
+// by remapping indexes and the separator.
+type CSVMapping struct {
+	Time   int // required: event timestamp
+	Client int // workstation/host column (-1: single client 0)
+	User   int // user column (-1: user = client)
+	Proc   int // process/thread column (-1: proc = client)
+	Op     int // required: operation name
+	Path   int // required: file path or name
+	Offset int // byte offset (-1 or empty cell: sequential)
+	Length int // byte count (-1: 0)
+	Size   int // file-size hint (-1: inferred from extents)
+
+	// TimeUnit is the duration of 1.0 in the time column (default 1s,
+	// i.e. the column holds possibly-fractional seconds; use
+	// time.Microsecond for SNIA block traces).
+	TimeUnit time.Duration
+	// Comma is the field separator (default ','; '\t' for TSV).
+	Comma rune
+	// SkipRows is the number of leading rows to discard (header lines
+	// that are not '#'-comments).
+	SkipRows int
+	// Ops adds or overrides operation-name → kind mappings, merged over
+	// the built-in table (lower-cased names).
+	Ops map[string]trace.Kind
+}
+
+// DefaultCSVMapping returns the mapping for a minimal
+// "time,client,op,path,offset,length" comma-separated dump with float
+// second timestamps.
+func DefaultCSVMapping() CSVMapping {
+	return CSVMapping{
+		Time: 0, Client: 1, Op: 2, Path: 3, Offset: 4, Length: 5,
+		User: -1, Proc: -1, Size: -1,
+		TimeUnit: time.Second, Comma: ',',
+	}
+}
+
+// defaultOps is the built-in operation-name table. Names are matched
+// lower-case after stripping a leading "nfs3_"/"nfs4_" prefix, so NFS
+// dump vocabularies fit without custom mappings.
+var defaultOps = map[string]trace.Kind{
+	"read": trace.KindRead, "rd": trace.KindRead, "r": trace.KindRead,
+	"pread": trace.KindRead, "readv": trace.KindRead,
+	"write": trace.KindWrite, "wr": trace.KindWrite, "w": trace.KindWrite,
+	"pwrite": trace.KindWrite, "writev": trace.KindWrite,
+	"open": trace.KindOpen, "o": trace.KindOpen, "openat": trace.KindOpen,
+	"close": trace.KindClose, "c": trace.KindClose, "release": trace.KindClose,
+	"create": trace.KindCreate, "creat": trace.KindCreate, "mknod": trace.KindCreate,
+	"delete": trace.KindDelete, "unlink": trace.KindDelete,
+	"remove": trace.KindDelete, "rm": trace.KindDelete,
+	"truncate": trace.KindTruncate, "trunc": trace.KindTruncate,
+	"seek": trace.KindReposition, "lseek": trace.KindReposition,
+	"reposition": trace.KindReposition,
+	"readdir":    trace.KindDirRead, "dirread": trace.KindDirRead,
+	"getdents": trace.KindDirRead, "readdirplus": trace.KindDirRead,
+	"mkdir": trace.KindCreate, "rmdir": trace.KindDelete,
+}
+
+// dirOps flags operations that imply the path is a directory.
+var dirOps = map[string]bool{
+	"readdir": true, "dirread": true, "getdents": true, "readdirplus": true,
+	"mkdir": true, "rmdir": true,
+}
+
+// ParseCSVMapping builds a CSVMapping from a compact spec string of
+// comma-separated key=value pairs, e.g.
+//
+//	time=0,client=1,op=2,path=3,offset=4,length=5,unit=us,sep=tab,skip=1
+//
+// Keys: time, client, user, proc, op, path, offset, length, size (column
+// indexes, or "-" for absent); unit (s, ms, us, ns); sep (comma, tab,
+// semicolon, space); skip (leading rows); and op.<name>=<kind> entries
+// that extend the operation table (e.g. op.WRITE_BLOCK=write). An empty
+// spec returns DefaultCSVMapping.
+func ParseCSVMapping(spec string) (CSVMapping, error) {
+	m := DefaultCSVMapping()
+	if strings.TrimSpace(spec) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("traceio: bad mapping entry %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		if op, ok := strings.CutPrefix(key, "op."); ok {
+			kind, known := trace.ParseKind(strings.ToLower(val))
+			if !known {
+				return m, fmt.Errorf("traceio: op mapping %q: unknown kind %q", part, val)
+			}
+			if m.Ops == nil {
+				m.Ops = make(map[string]trace.Kind)
+			}
+			m.Ops[strings.ToLower(op)] = kind
+			continue
+		}
+		col := func(dst *int) error {
+			if val == "-" || val == "" {
+				*dst = -1
+				return nil
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fmt.Errorf("traceio: mapping %s=%q: want a column index or -", key, val)
+			}
+			*dst = n
+			return nil
+		}
+		var err error
+		switch key {
+		case "time":
+			err = col(&m.Time)
+		case "client":
+			err = col(&m.Client)
+		case "user":
+			err = col(&m.User)
+		case "proc", "pid":
+			err = col(&m.Proc)
+		case "op":
+			err = col(&m.Op)
+		case "path", "file":
+			err = col(&m.Path)
+		case "offset":
+			err = col(&m.Offset)
+		case "length", "len":
+			err = col(&m.Length)
+		case "size":
+			err = col(&m.Size)
+		case "unit":
+			switch strings.ToLower(val) {
+			case "s", "sec":
+				m.TimeUnit = time.Second
+			case "ms":
+				m.TimeUnit = time.Millisecond
+			case "us", "µs":
+				m.TimeUnit = time.Microsecond
+			case "ns":
+				m.TimeUnit = time.Nanosecond
+			default:
+				err = fmt.Errorf("traceio: unknown time unit %q", val)
+			}
+		case "sep":
+			switch strings.ToLower(val) {
+			case "comma":
+				m.Comma = ','
+			case "tab":
+				m.Comma = '\t'
+			case "semicolon":
+				m.Comma = ';'
+			case "space":
+				m.Comma = ' '
+			default:
+				err = fmt.Errorf("traceio: unknown separator %q", val)
+			}
+		case "skip":
+			m.SkipRows, err = strconv.Atoi(val)
+		default:
+			err = fmt.Errorf("traceio: unknown mapping key %q", key)
+		}
+		if err != nil {
+			return m, err
+		}
+	}
+	if m.Time < 0 || m.Op < 0 || m.Path < 0 {
+		return m, fmt.Errorf("traceio: mapping must place the time, op and path columns")
+	}
+	return m, nil
+}
+
+// ImportCSV parses a CSV/TSV I/O trace according to m and synthesizes a
+// native record stream. Malformed rows are skipped and counted, not
+// fatal; an input with no usable rows at all is an error.
+func ImportCSV(r io.Reader, m CSVMapping, opt Options) ([]trace.Record, *ImportReport, error) {
+	opt = opt.withDefaults()
+	if m.TimeUnit <= 0 {
+		m.TimeUnit = time.Second
+	}
+	if m.Comma == 0 {
+		m.Comma = ','
+	}
+	rep := &ImportReport{}
+	b := newBuilder(opt, rep)
+	cr := csv.NewReader(r)
+	cr.Comma = m.Comma
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = true
+	cr.TrimLeadingSpace = true
+
+	ids := newIDInterner()
+	var events []event
+	row := 0
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rep.Rows++
+			rep.Malformed++
+			rep.note("row %d: %v", rep.Rows, err)
+			continue
+		}
+		row++
+		if row <= m.SkipRows {
+			continue
+		}
+		rep.Rows++
+		ev, skip, err := m.parseRow(fields, ids)
+		if err != nil {
+			rep.Malformed++
+			rep.note("row %d: %v", rep.Rows, err)
+			continue
+		}
+		if skip != "" {
+			rep.Ignored++
+			rep.note("row %d: %s", rep.Rows, skip)
+			continue
+		}
+		ev.seq = len(events)
+		events = append(events, ev)
+	}
+	recs, err := b.build(events)
+	if err != nil {
+		return nil, rep, err
+	}
+	return recs, rep, nil
+}
+
+// parseRow converts one CSV row into an event. skip is a non-empty reason
+// when the row parses but is intentionally not representable.
+func (m *CSVMapping) parseRow(fields []string, ids *idInterner) (event, string, error) {
+	var ev event
+	get := func(idx int) (string, bool) {
+		if idx < 0 || idx >= len(fields) {
+			return "", false
+		}
+		return strings.TrimSpace(fields[idx]), true
+	}
+	ts, ok := get(m.Time)
+	if !ok || ts == "" {
+		return ev, "", fmt.Errorf("missing time column %d", m.Time)
+	}
+	sec, err := strconv.ParseFloat(ts, 64)
+	if err != nil || sec < 0 {
+		return ev, "", fmt.Errorf("bad timestamp %q", ts)
+	}
+	ev.time = time.Duration(sec * float64(m.TimeUnit))
+
+	opName, ok := get(m.Op)
+	if !ok || opName == "" {
+		return ev, "", fmt.Errorf("missing op column %d", m.Op)
+	}
+	opKey := strings.ToLower(opName)
+	opKey = strings.TrimPrefix(opKey, "nfs3_")
+	opKey = strings.TrimPrefix(opKey, "nfs4_")
+	kind, known := m.Ops[opKey]
+	if !known {
+		kind, known = defaultOps[opKey]
+	}
+	if !known {
+		if _, stat := statOps[opKey]; stat {
+			return ev, fmt.Sprintf("metadata-only op %q", opName), nil
+		}
+		return ev, "", fmt.Errorf("unknown op %q", opName)
+	}
+	ev.kind = kind
+	if dirOps[opKey] {
+		ev.flags |= trace.FlagDirectory
+	}
+
+	path, ok := get(m.Path)
+	if !ok || path == "" {
+		return ev, "", fmt.Errorf("missing path column %d", m.Path)
+	}
+	ev.path = path
+
+	if c, ok := get(m.Client); ok && c != "" {
+		ev.client = ids.intern("client", c)
+	}
+	ev.user, ev.proc = ev.client, ev.client
+	if u, ok := get(m.User); ok && u != "" {
+		ev.user = ids.intern("user", u)
+	}
+	if p, ok := get(m.Proc); ok && p != "" {
+		ev.proc = ids.intern("proc", p)
+	}
+
+	ev.offset = -1
+	if o, ok := get(m.Offset); ok && o != "" && o != "-" {
+		v, err := strconv.ParseInt(o, 10, 64)
+		if err != nil || v < 0 {
+			return ev, "", fmt.Errorf("bad offset %q", o)
+		}
+		ev.offset = v
+	}
+	if l, ok := get(m.Length); ok && l != "" && l != "-" {
+		v, err := strconv.ParseInt(l, 10, 64)
+		if err != nil || v < 0 {
+			return ev, "", fmt.Errorf("bad length %q", l)
+		}
+		ev.length = v
+	}
+	if s, ok := get(m.Size); ok && s != "" && s != "-" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			return ev, "", fmt.Errorf("bad size %q", s)
+		}
+		ev.size = v
+	}
+	return ev, "", nil
+}
+
+// statOps are metadata-only operations common in NFS dumps that have no
+// counterpart in the record vocabulary; rows naming them are counted as
+// ignored rather than malformed.
+var statOps = map[string]bool{
+	"stat": true, "fstat": true, "lstat": true, "getattr": true, "lookup": true,
+	"setattr": true, "access": true, "fsinfo": true, "fsstat": true,
+	"null": true, "readlink": true, "symlink": true, "rename": true,
+	"link": true, "flush": true, "fsync": true, "commit": true,
+}
+
+// idInterner maps foreign textual identifiers (hostnames, usernames,
+// alphanumeric pids) to dense int32 IDs in first-appearance order.
+// Numeric identifiers pass through unchanged, so dumps with integer
+// client columns keep their numbering.
+type idInterner struct {
+	m    map[string]int32
+	next map[string]int32
+}
+
+func newIDInterner() *idInterner {
+	return &idInterner{m: make(map[string]int32), next: make(map[string]int32)}
+}
+
+func (in *idInterner) intern(space, s string) int32 {
+	if n, err := strconv.ParseInt(s, 10, 32); err == nil && n >= 0 {
+		return int32(n)
+	}
+	key := space + "\x00" + s
+	if id, ok := in.m[key]; ok {
+		return id
+	}
+	id := in.next[space]
+	in.next[space] = id + 1
+	in.m[key] = id
+	return id
+}

@@ -1,0 +1,132 @@
+package traceio
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("size=8,rate=4,clients=3,files=2,skew=7ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{SizeScale: 8, RateScale: 4, ClientScale: 3, FileScale: 2, CloneSkew: 7 * time.Millisecond}
+	if p != want {
+		t.Fatalf("got %+v, want %+v", p, want)
+	}
+	id, err := ParseProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != (Profile{SizeScale: 1, RateScale: 1, ClientScale: 1, FileScale: 1, CloneSkew: 5 * time.Millisecond}) {
+		t.Fatalf("empty spec is not identity: %+v", id)
+	}
+	if _, err := ParseProfile("warp=9"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestModernizeScales(t *testing.T) {
+	recs, _ := importSample(t)
+	out, rep := Modernize(recs, Profile{SizeScale: 10, RateScale: 2, ClientScale: 3})
+	if rep.Records[1] != 3*rep.Records[0] {
+		t.Fatalf("records %d -> %d, want ×3", rep.Records[0], rep.Records[1])
+	}
+	if rep.Clients[1] != 3*rep.Clients[0] {
+		t.Fatalf("clients %d -> %d, want ×3", rep.Clients[0], rep.Clients[1])
+	}
+	if rep.Files[1] != 3*rep.Files[0] {
+		t.Fatalf("files %d -> %d, want ×3", rep.Files[0], rep.Files[1])
+	}
+	if rep.Bytes[1] != 3*10*rep.Bytes[0] {
+		t.Fatalf("payload %d -> %d, want ×30", rep.Bytes[0], rep.Bytes[1])
+	}
+	// Rate ×2 halves the base duration; the last clone's skew shifts the
+	// end slightly.
+	if rep.Duration[1] >= rep.Duration[0] {
+		t.Fatalf("duration %s -> %s, want compressed", rep.Duration[0], rep.Duration[1])
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatal("modernized stream not time-sorted")
+		}
+	}
+	// Clones must not share handles or files.
+	seenHandle := map[uint64]int32{}
+	for _, r := range out {
+		if r.Kind != trace.KindOpen || r.Handle == 0 {
+			continue
+		}
+		if c, ok := seenHandle[r.Handle]; ok && c != r.Client {
+			t.Fatalf("handle %d reused across clients %d and %d", r.Handle, c, r.Client)
+		}
+		seenHandle[r.Handle] = r.Client
+	}
+	if rep.String() == "" || !strings.Contains(rep.String(), "clients") {
+		t.Error("report render empty")
+	}
+}
+
+func TestModernizeFileScaleSplitsSessions(t *testing.T) {
+	// Four sessions on one file; FileScale 2 must spread them over two
+	// distinct file IDs, alternating.
+	var recs []trace.Record
+	for s := 0; s < 4; s++ {
+		h := uint64(s + 1)
+		base := time.Duration(s) * time.Second
+		recs = append(recs,
+			trace.Record{Time: base, Kind: trace.KindOpen, Client: 1, File: 0x42, Handle: h, Flags: trace.FlagReadMode},
+			trace.Record{Time: base + time.Millisecond, Kind: trace.KindRead, Client: 1, File: 0x42, Handle: h, Length: 100},
+			trace.Record{Time: base + 2*time.Millisecond, Kind: trace.KindClose, Client: 1, File: 0x42, Handle: h},
+		)
+	}
+	out, rep := Modernize(recs, Profile{FileScale: 2})
+	if rep.Files[1] != 2 {
+		t.Fatalf("files %d -> %d, want 2", rep.Files[0], rep.Files[1])
+	}
+	// Within one session every record must stay on one file copy.
+	byHandle := map[uint64]uint64{}
+	for _, r := range out {
+		if r.Handle == 0 {
+			continue
+		}
+		if f, ok := byHandle[r.Handle]; ok && f != r.File {
+			t.Fatalf("session handle %d touches files %x and %x", r.Handle, f, r.File)
+		}
+		byHandle[r.Handle] = r.File
+	}
+}
+
+func TestModernizeIdentity(t *testing.T) {
+	recs, _ := importSample(t)
+	out, rep := Modernize(recs, Profile{})
+	if len(out) != len(recs) {
+		t.Fatalf("identity profile changed record count %d -> %d", len(recs), len(out))
+	}
+	for i := range recs {
+		if out[i] != recs[i] {
+			t.Fatalf("identity profile changed record %d:\n%v\n%v", i, recs[i], out[i])
+		}
+	}
+	if rep.Records[0] != rep.Records[1] {
+		t.Fatal("identity report disagrees with itself")
+	}
+}
+
+func TestModernizeDeterministic(t *testing.T) {
+	recs, _ := importSample(t)
+	p := Profile{SizeScale: 4, RateScale: 2, ClientScale: 4, FileScale: 2}
+	a, _ := Modernize(recs, p)
+	b, _ := Modernize(recs, p)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across identical modernize runs", i)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"spritefs/internal/trace"
+)
+
+// The strace importer understands the common single-process and -f
+// multi-process line shapes, with or without -t/-tt/-ttt timestamps:
+//
+//	openat(AT_FDCWD, "/etc/hosts", O_RDONLY|O_CLOEXEC) = 3
+//	1699999999.123456 read(3, "..."..., 4096) = 4096
+//	[pid  1234] 14:02:07.123456 write(4, "x", 1) = 1
+//	1234  0.000123 close(3) = 0
+//
+// File descriptors are tracked per pid from successful open/openat/creat
+// returns; operations on descriptors the log never showed an open for are
+// attributed to a synthetic "pidN/fdM" file (except stdio fds 0-2, which
+// are ignored), and the shared builder brackets them with inferred
+// opens/closes. Failed calls (= -1 ERRNO), unfinished/resumed halves,
+// signal and exit markers are skipped.
+
+// straceLine captures: [1] pid (either prefix form), [2] timestamp,
+// [3] syscall name, [4] raw argument text, [5] return value.
+var straceLine = regexp.MustCompile(
+	`^(?:\[pid\s+(\d+)\]\s+|(\d+)\s+)?` + // [pid 1234] or bare-pid prefix
+		`(?:(\d+:\d+:\d+(?:\.\d+)?|\d+\.\d+)\s+)?` + // -tt wall clock or -ttt/-r float seconds
+		`([a-z_][a-z0-9_]*)\((.*)\)\s*=\s*(-?\d+|\?)`) // name(args) = ret
+
+// straceQuoted extracts the first double-quoted argument (the path).
+var straceQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type straceParser struct {
+	opt Options
+	rep *ImportReport
+
+	fds      map[int32]map[int]string // pid → fd → interned path key
+	pidOrder map[int32]int32          // pid → first-appearance index
+	events   []event
+
+	sawClock  bool          // any line carried a timestamp
+	lastWall  time.Duration // previous wall-clock stamp, for midnight wrap
+	wallBase  time.Duration // accumulated wrap offset
+	synthetic time.Duration // fallback clock when the log has no stamps
+}
+
+// ImportStrace parses an strace-style syscall log and synthesizes a
+// native record stream.
+func ImportStrace(r io.Reader, opt Options) ([]trace.Record, *ImportReport, error) {
+	opt = opt.withDefaults()
+	rep := &ImportReport{}
+	p := &straceParser{
+		opt:      opt,
+		rep:      rep,
+		fds:      make(map[int32]map[int]string),
+		pidOrder: make(map[int32]int32),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "---") || strings.HasPrefix(line, "+++") {
+			continue // signal delivery / process exit markers
+		}
+		rep.Rows++
+		if strings.Contains(line, "<unfinished") || strings.Contains(line, "resumed>") {
+			rep.Ignored++
+			continue
+		}
+		p.line(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, rep, fmt.Errorf("traceio: reading strace log: %w", err)
+	}
+	b := newBuilder(opt, rep)
+	recs, err := b.build(p.events)
+	if err != nil {
+		return nil, rep, err
+	}
+	return recs, rep, nil
+}
+
+// line parses one syscall line into at most one event.
+func (p *straceParser) line(s string) {
+	m := straceLine.FindStringSubmatch(s)
+	if m == nil {
+		p.rep.Malformed++
+		p.rep.note("unparseable line: %.60s", s)
+		return
+	}
+	pidStr := m[1]
+	if pidStr == "" {
+		pidStr = m[2]
+	}
+	var pid int32
+	if pidStr != "" {
+		n, _ := strconv.ParseInt(pidStr, 10, 32)
+		pid = int32(n)
+	}
+	t := p.stamp(m[3])
+	name, args, retStr := m[4], m[5], m[6]
+	if retStr == "?" || strings.HasPrefix(retStr, "-") {
+		// Failed or indeterminate call: no file-system effect.
+		p.rep.Ignored++
+		return
+	}
+	ret, _ := strconv.ParseInt(retStr, 10, 64)
+
+	ev := event{
+		time:   t,
+		client: p.clientFor(pid),
+		proc:   pid,
+		offset: -1,
+		seq:    len(p.events),
+	}
+	ev.user = ev.client
+
+	fdtab := p.fds[pid]
+	argFd := func() int {
+		i := strings.IndexAny(args, ",)")
+		a := args
+		if i >= 0 {
+			a = args[:i]
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(a))
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+	// pathFor resolves an fd to its opened path, or a synthetic
+	// "pidN/fdM" name for descriptors the log never opened (stdio is
+	// dropped entirely).
+	pathFor := func(fd int) (string, bool) {
+		if path, ok := fdtab[fd]; ok {
+			return path, true
+		}
+		if fd <= 2 {
+			return "", false
+		}
+		return fmt.Sprintf("untracked/pid%d/fd%d", pid, fd), true
+	}
+	nthInt := func(n int) (int64, bool) {
+		parts := splitArgs(args)
+		if n >= len(parts) {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[n]), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+
+	switch name {
+	case "open", "openat", "creat":
+		path := firstQuoted(args)
+		if path == "" {
+			p.rep.Malformed++
+			p.rep.note("open with no path: %.60s", s)
+			return
+		}
+		if fdtab == nil {
+			fdtab = make(map[int]string)
+			p.fds[pid] = fdtab
+		}
+		fdtab[int(ret)] = path
+		ev.kind = trace.KindOpen
+		ev.path = path
+		ev.flags = openFlags(args, name == "creat")
+		if strings.Contains(args, "O_DIRECTORY") {
+			ev.flags |= trace.FlagDirectory
+		}
+
+	case "close":
+		fd := argFd()
+		path, ok := pathFor(fd)
+		if !ok {
+			p.rep.Ignored++
+			return
+		}
+		delete(fdtab, fd)
+		ev.kind = trace.KindClose
+		ev.path = path
+
+	case "read", "readv", "pread64", "pread":
+		fd := argFd()
+		path, ok := pathFor(fd)
+		if !ok || ret == 0 {
+			p.rep.Ignored++
+			return
+		}
+		ev.kind = trace.KindRead
+		ev.path = path
+		ev.length = ret
+		if name == "pread64" || name == "pread" {
+			if off, ok := nthInt(3); ok {
+				ev.offset = off
+			}
+		}
+
+	case "write", "writev", "pwrite64", "pwrite":
+		fd := argFd()
+		path, ok := pathFor(fd)
+		if !ok || ret == 0 {
+			p.rep.Ignored++
+			return
+		}
+		ev.kind = trace.KindWrite
+		ev.path = path
+		ev.length = ret
+		if name == "pwrite64" || name == "pwrite" {
+			if off, ok := nthInt(3); ok {
+				ev.offset = off
+			}
+		}
+
+	case "lseek", "_llseek":
+		fd := argFd()
+		path, ok := pathFor(fd)
+		if !ok {
+			p.rep.Ignored++
+			return
+		}
+		// strace prints the resulting absolute offset as the return value.
+		ev.kind = trace.KindReposition
+		ev.path = path
+		ev.offset = ret
+
+	case "getdents", "getdents64":
+		fd := argFd()
+		path, ok := pathFor(fd)
+		if !ok || ret == 0 {
+			p.rep.Ignored++
+			return
+		}
+		ev.kind = trace.KindDirRead
+		ev.path = path
+		ev.length = ret
+		ev.flags = trace.FlagDirectory
+
+	case "unlink", "unlinkat":
+		path := firstQuoted(args)
+		if path == "" {
+			p.rep.Malformed++
+			return
+		}
+		ev.kind = trace.KindDelete
+		ev.path = path
+
+	case "truncate", "ftruncate":
+		if name == "truncate" {
+			ev.path = firstQuoted(args)
+		} else if path, ok := pathFor(argFd()); ok {
+			ev.path = path
+		}
+		if ev.path == "" {
+			p.rep.Ignored++
+			return
+		}
+		ev.kind = trace.KindTruncate
+
+	case "mkdir", "mkdirat":
+		path := firstQuoted(args)
+		if path == "" {
+			p.rep.Malformed++
+			return
+		}
+		ev.kind = trace.KindCreate
+		ev.path = path
+		ev.flags = trace.FlagDirectory
+
+	default:
+		// stat, mmap, ioctl, socket traffic, ...: not file data traffic.
+		p.rep.Ignored++
+		return
+	}
+	p.events = append(p.events, ev)
+}
+
+// stamp converts a line's timestamp text into a monotonic-enough virtual
+// time. Wall-clock (-tt) stamps wrap at midnight; float stamps (-ttt
+// epoch or -r relative) are taken as absolute seconds; logs with no
+// stamps at all get a synthetic 1ms-per-call clock.
+func (p *straceParser) stamp(ts string) time.Duration {
+	p.synthetic += time.Millisecond
+	if ts == "" {
+		if p.sawClock {
+			return p.lastWall + p.wallBase
+		}
+		return p.synthetic
+	}
+	p.sawClock = true
+	var d time.Duration
+	if strings.Contains(ts, ":") {
+		parts := strings.SplitN(ts, ":", 3)
+		h, _ := strconv.Atoi(parts[0])
+		min, _ := strconv.Atoi(parts[1])
+		sec, _ := strconv.ParseFloat(parts[2], 64)
+		d = time.Duration(h)*time.Hour + time.Duration(min)*time.Minute +
+			time.Duration(sec*float64(time.Second))
+		if d < p.lastWall {
+			p.wallBase += 24 * time.Hour
+		}
+	} else {
+		sec, _ := strconv.ParseFloat(ts, 64)
+		d = time.Duration(sec * float64(time.Second))
+	}
+	p.lastWall = d
+	return d + p.wallBase
+}
+
+// clientFor spreads pids across the synthetic workstation pool in
+// first-appearance order.
+func (p *straceParser) clientFor(pid int32) int32 {
+	if idx, ok := p.pidOrder[pid]; ok {
+		return idx % int32(p.opt.Clients)
+	}
+	idx := int32(len(p.pidOrder))
+	p.pidOrder[pid] = idx
+	return idx % int32(p.opt.Clients)
+}
+
+// firstQuoted returns the first double-quoted argument, unescaped enough
+// for use as a path key.
+func firstQuoted(args string) string {
+	m := straceQuoted.FindStringSubmatch(args)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+// openFlags maps O_* mode flags in the argument text to record flags.
+func openFlags(args string, creat bool) uint8 {
+	var f uint8
+	switch {
+	case creat || strings.Contains(args, "O_WRONLY"):
+		f = trace.FlagWriteMode
+	case strings.Contains(args, "O_RDWR"):
+		f = trace.FlagReadMode | trace.FlagWriteMode
+	default: // O_RDONLY is 0 and often implicit
+		f = trace.FlagReadMode
+	}
+	return f
+}
+
+// splitArgs splits a syscall argument list at top-level commas (quoted
+// strings and nested braces/brackets are kept intact).
+func splitArgs(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

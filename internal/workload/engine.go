@@ -285,6 +285,11 @@ func (e *Engine) nextApp(u *userState, end time.Duration) {
 		e.launch(u, AppGrep, e.hosts[u.sessHost], ops, rate, false, cont)
 	case AppSharedLog:
 		e.runSharedLog(u, cont)
+	case AppStream:
+		ops, rate := e.genStream(u)
+		e.launch(u, AppStream, e.hosts[u.sessHost], ops, rate, false, cont)
+	case AppBuildFarm:
+		e.runBuildFarm(u, cont)
 	default:
 		cont()
 	}
@@ -392,8 +397,10 @@ func (e *Engine) runPmake(u *userState, cont func()) {
 }
 
 // launch starts a program on a host and registers it for migration
-// bookkeeping.
-func (e *Engine) launch(u *userState, app AppKind, host Host, ops []op, rate float64, migrated bool, done func()) {
+// bookkeeping. It returns the program so callers can read results
+// (created-file slots) from their done callbacks; the first op always
+// charges exec overhead, so done can never fire before launch returns.
+func (e *Engine) launch(u *userState, app AppKind, host Host, ops []op, rate float64, migrated bool, done func()) *program {
 	e.nextPid++
 	pr := &program{
 		user:     u.id,
@@ -418,6 +425,7 @@ func (e *Engine) launch(u *userState, app AppKind, host Host, ops []op, rate flo
 		}
 	}
 	e.step(pr)
+	return pr
 }
 
 func countSlots(ops []op) int {

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"spritefs/internal/metrics"
+)
+
+// RegisterMetrics exposes the engine's community-level accounting as
+// spritefs_workload_* families: how many programs of each application
+// kind ran, the bytes they moved, and the migration traffic. These sit
+// above the per-client cache/VM counters — they describe the offered
+// load, not the system's response to it.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	progs := metrics.Desc{Name: "spritefs_workload_programs_total", Unit: "programs",
+		Help: "Programs launched by the community engine, by application kind.",
+		Kind: metrics.Counter}
+	reads := metrics.Desc{Name: "spritefs_workload_read_bytes_total", Unit: "bytes",
+		Help: "Bytes read by community programs, by application kind.",
+		Kind: metrics.Counter}
+	writes := metrics.Desc{Name: "spritefs_workload_write_bytes_total", Unit: "bytes",
+		Help: "Bytes written by community programs, by application kind.",
+		Kind: metrics.Counter}
+	for a := AppKind(0); a < NumApps; a++ {
+		a := a
+		ls := metrics.Labels{metrics.L("app", a.String())}
+		r.Int(progs, ls, func() int64 { return e.st.RunsByApp[a] })
+		r.Int(reads, ls, func() int64 { return e.st.ReadByApp[a] })
+		r.Int(writes, ls, func() int64 { return e.st.WriteByApp[a] })
+	}
+	r.Int(metrics.Desc{Name: "spritefs_workload_sessions_total", Unit: "sessions",
+		Help: "Login sessions started by community users.",
+		Kind: metrics.Counter},
+		nil, func() int64 { return e.st.SessionsRun })
+	r.Int(metrics.Desc{Name: "spritefs_workload_migrations_total", Unit: "migrations",
+		Help: "Programs farmed to another workstation via process migration.",
+		Kind: metrics.Counter},
+		nil, func() int64 { return e.st.Migrations })
+	r.Int(metrics.Desc{Name: "spritefs_workload_evictions_total", Unit: "evictions",
+		Help: "Migrated programs evicted when their host's owner returned.",
+		Kind: metrics.Counter},
+		nil, func() int64 { return e.st.Evictions })
+	r.Int(metrics.Desc{Name: "spritefs_workload_aborted_ops_total", Unit: "ops",
+		Help: "Program operations skipped after an unrecoverable error (e.g. open of a deleted file).",
+		Kind: metrics.Counter},
+		nil, func() int64 { return e.st.AbortedOps })
+}

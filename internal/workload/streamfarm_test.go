@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// shrink cuts a full-size parameter set down to the test rig's community.
+func shrink(p Params) Params {
+	p.NumClients = 6
+	p.DailyUsers = 4
+	p.OccasionalUsers = 2
+	p.SessionMedian = 5 * time.Minute
+	p.GapMedian = 10 * time.Minute
+	p.ThinkMean = 3 * time.Second
+	return p
+}
+
+func TestStreamingWorkload(t *testing.T) {
+	p := shrink(StreamingParams(21))
+	r := newRig(t, p)
+	if len(r.eng.reg.Media) == 0 {
+		t.Fatal("streaming params built no media library")
+	}
+	media := map[uint64]bool{}
+	for _, f := range r.eng.reg.Media {
+		media[f] = true
+	}
+	r.eng.Run(2 * time.Hour)
+	r.s.RunUntil(3 * time.Hour)
+
+	st := r.eng.Stats()
+	if st.RunsByApp[AppStream] == 0 {
+		t.Fatal("no streaming sessions ran")
+	}
+	mediaOpens, seeks := 0, 0
+	for _, f := range r.fakes {
+		for id, n := range f.opened {
+			if media[id] {
+				mediaOpens += n
+			}
+		}
+		seeks += f.seeks
+	}
+	if mediaOpens == 0 {
+		t.Error("streaming sessions never opened a media file")
+	}
+	if seeks == 0 {
+		t.Error("no seek bursts observed")
+	}
+	opens, closes, execs, exits := r.totals()
+	if opens != closes {
+		t.Errorf("opens=%d closes=%d (must balance)", opens, closes)
+	}
+	if execs != exits {
+		t.Errorf("execs=%d exits=%d (must balance)", execs, exits)
+	}
+	if r.s.Pending() != 0 {
+		t.Errorf("%d events still pending", r.s.Pending())
+	}
+}
+
+func TestBuildFarmMigrates(t *testing.T) {
+	p := shrink(BuildFarmParams(22))
+	p.MigrationUserFrac = 1.0
+	r := newRig(t, p)
+	r.eng.Run(2 * time.Hour)
+	r.s.RunUntil(3 * time.Hour)
+
+	st := r.eng.Stats()
+	if st.RunsByApp[AppBuildFarm] == 0 {
+		t.Fatal("no build-farm programs ran")
+	}
+	if st.Migrations == 0 {
+		t.Error("build farm triggered no migrations")
+	}
+	deletes := 0
+	for _, f := range r.fakes {
+		deletes += f.deletes
+	}
+	if deletes == 0 {
+		t.Error("farm never cleaned up artifacts")
+	}
+	opens, closes, execs, exits := r.totals()
+	if opens != closes {
+		t.Errorf("opens=%d closes=%d (must balance)", opens, closes)
+	}
+	if execs != exits {
+		t.Errorf("execs=%d exits=%d (must balance)", execs, exits)
+	}
+	if r.s.Pending() != 0 {
+		t.Errorf("%d events still pending", r.s.Pending())
+	}
+}
+
+// TestStreamFarmDeterministic pins both new generator families to the
+// same seeded-determinism bar as the 1991 mixes.
+func TestStreamFarmDeterministic(t *testing.T) {
+	for _, mk := range []func(int64) Params{StreamingParams, BuildFarmParams} {
+		run := func() Stats {
+			r := newRig(t, shrink(mk(33)))
+			r.eng.Run(time.Hour)
+			r.s.RunUntil(2 * time.Hour)
+			return r.eng.Stats()
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Errorf("runs differ:\n%+v\n%+v", a, b)
+		}
+	}
+}
+
+// TestNewAppsAreRNGNeutral guards the golden gates: the new parameter
+// fields default to zero, so a default-parameter community must behave
+// identically to one built before the generators existed. (A weight of
+// zero draws nothing extra from the RNG, and an empty media library
+// skips its bootstrap loop.)
+func TestNewAppsAreRNGNeutral(t *testing.T) {
+	p := smallParams(7)
+	for g := Group(0); g < NumGroups; g++ {
+		if p.AppMix[g][AppStream] != 0 || p.AppMix[g][AppBuildFarm] != 0 {
+			t.Fatal("new apps weighted in default mix")
+		}
+	}
+	if p.MediaFiles != 0 || p.FarmPackages != 0 {
+		t.Fatal("new populations enabled by default")
+	}
+	r := newRig(t, p)
+	if len(r.eng.reg.Media) != 0 {
+		t.Fatal("media library built at default params")
+	}
+	r.eng.Run(time.Hour)
+	r.s.RunUntil(2 * time.Hour)
+	if r.eng.Stats().RunsByApp[AppStream] != 0 || r.eng.Stats().RunsByApp[AppBuildFarm] != 0 {
+		t.Error("new apps ran at default params")
+	}
+}

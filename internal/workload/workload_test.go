@@ -25,11 +25,13 @@ type fakeHost struct {
 	exits   int
 	pos     map[uint64]int64
 	file    map[uint64]uint64
+	opened  map[uint64]int
 	nextH   uint64
 }
 
 func newFakeHost(id int32, srv *server.Server, s *sim.Sim) *fakeHost {
-	return &fakeHost{id: id, srv: srv, s: s, pos: map[uint64]int64{}, file: map[uint64]uint64{}}
+	return &fakeHost{id: id, srv: srv, s: s,
+		pos: map[uint64]int64{}, file: map[uint64]uint64{}, opened: map[uint64]int{}}
 }
 
 func (f *fakeHost) ID() int32 { return f.id }
@@ -43,6 +45,7 @@ func (f *fakeHost) Open(user, proc int32, file uint64, read, write, migrated boo
 		return 0, 0, err
 	}
 	f.opens++
+	f.opened[file]++
 	f.nextH++
 	h := f.nextH
 	f.pos[h] = 0
