@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke importcheck bench benchcheck benchbaseline benchall experiments experiments-diff section4 section5 clean
+.PHONY: all check build vet pkgdoc metricscheck docs test race faults faultsmoke scalecheck allocscheck soaksmoke importcheck bench benchcheck benchbaseline benchall profile experiments experiments-diff section4 section5 clean
 
 all: check
 
@@ -77,13 +77,14 @@ scalecheck:
 	$(GO) test -race -run 'TestParallelMatchesSequential|TestDeterministicAcrossRuns|TestDetermFuzzSmoke' -count=1 ./internal/scale
 
 # The allocation-regression gate: testing.AllocsPerRun pins the
-# scheduler's After/Every steady state and the netsim RPC round-trip at
-# exactly zero allocations per operation, and the scale pool tests pin
-# the executor's message recycling (a warm-seeded run allocates zero
-# messages), which is what keeps the benchmarks' allocs/op at steady
-# state.
+# scheduler's After/Every steady state, the netsim RPC round-trip, the
+# fscache cleaner sweep (dirty-set walk plus scratch-buffer reuse) and
+# the metrics labeled-counter increment-and-sum path at exactly zero
+# allocations per operation, and the scale pool tests pin the executor's
+# message recycling (a warm-seeded run allocates zero messages), which
+# is what keeps the benchmarks' allocs/op at steady state.
 allocscheck:
-	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim ./internal/netsim
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim ./internal/netsim ./internal/fscache ./internal/metrics
 	$(GO) test -run 'TestMessagePoolSteadyState|TestDrainMessagePoolsEmpties' -count=1 ./internal/scale
 
 # The live-service gate: a 2-second in-package mini-soak under the race
@@ -141,13 +142,15 @@ endef
 
 # The perf-regression gate: rerun the quick benchmark sweep and fail if
 # any median ns/op regresses more than 15% against the committed
-# BENCH_check_baseline.json. Each run appends a line to
-# BENCH_history.jsonl. Refresh the baseline with `make benchbaseline`
-# after an intentional perf change (on the machine that enforces the
-# gate — baselines are host-specific).
+# BENCH_check_baseline.json, or any allocs/op grows more than 25% (the
+# -allocgate ratio is baseline-over-current; allocation counts are
+# deterministic at steady state, so the alloc gate has no significance
+# test). Each run appends a line to BENCH_history.jsonl. Refresh the
+# baseline with `make benchbaseline` after an intentional perf change
+# (on the machine that enforces the gate — baselines are host-specific).
 benchcheck:
 	$(BENCHCHECK_RUN)
-	$(GO) run ./cmd/benchjson -in benchcheck_output.txt -baseline BENCH_check_baseline.json -gate 0.85 -history BENCH_history.jsonl -o BENCH_check.json
+	$(GO) run ./cmd/benchjson -in benchcheck_output.txt -baseline BENCH_check_baseline.json -gate 0.85 -allocgate 0.8 -history BENCH_history.jsonl -o BENCH_check.json
 
 # Re-baseline the perf gate from the current tree.
 benchbaseline:
@@ -157,6 +160,19 @@ benchbaseline:
 # One iteration of every table/figure benchmark (reduced scale).
 benchall:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# CPU and heap profiles of the execution-dominated macro benchmark, plus
+# pprof -top snapshots, under profiles/ — the raw material for the
+# docs/PERFORMANCE.md hot-path tables. The profile run uses the largest
+# single-shard-free configuration (clients=1000/shards=8) so the sweep,
+# workload and metrics hot paths dominate rather than the coordinator.
+profile:
+	mkdir -p profiles
+	$(GO) test -bench='BenchmarkScaleEngine/clients=1000/shards=8$$' -benchtime=1x -run '^$$' \
+		-cpuprofile profiles/scale_cpu.out -memprofile profiles/scale_mem.out \
+		-o profiles/scale.test ./internal/scale
+	$(GO) tool pprof -top -nodecount 25 profiles/scale.test profiles/scale_cpu.out | tee profiles/scale_cpu_top.txt
+	$(GO) tool pprof -top -nodecount 25 -sample_index=alloc_objects profiles/scale.test profiles/scale_mem.out | tee profiles/scale_alloc_top.txt
 
 # Full-scale regeneration of the paper's evaluation, then a diff against
 # the committed results: determinism means any difference is a real

@@ -110,9 +110,11 @@ func main() {
 	out := flag.String("o", "", "JSON output file (default stdout)")
 	baseline := flag.String("baseline", "", "earlier benchjson output to compare against (adds a vs_baseline section)")
 	gate := flag.Float64("gate", 0, "fail (exit 1) if any vs_baseline speedup falls below this threshold (requires -baseline)")
+	allocGate := flag.Float64("allocgate", 0, "fail (exit 1) if any vs_baseline allocs/op ratio (baseline over current) falls below this threshold (requires -baseline)")
 	alpha := flag.Float64("alpha", 0.1, "significance level for the Mann-Whitney gate: a below-gate benchmark only fails when its p-value is <= alpha (or no samples exist to test)")
 	history := flag.String("history", "", "append one JSON line summarizing this run to the named file")
 	histSummary := flag.String("history-summary", "", "render the named history file as a per-benchmark TSV trend table and exit")
+	histPlot := flag.String("history-plot", "", "render the named history file as an SVG trend chart (to -o, default stdout) and exit")
 	flag.Parse()
 
 	if *histSummary != "" {
@@ -121,8 +123,14 @@ func main() {
 		}
 		return
 	}
-	if *gate != 0 && *baseline == "" {
-		fatal(fmt.Errorf("-gate requires -baseline"))
+	if *histPlot != "" {
+		if err := plotHistory(*histPlot, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if (*gate != 0 || *allocGate != 0) && *baseline == "" {
+		fatal(fmt.Errorf("-gate and -allocgate require -baseline"))
 	}
 	if *alpha <= 0 || *alpha >= 1 {
 		fatal(fmt.Errorf("-alpha must be in (0, 1), got %g", *alpha))
@@ -169,6 +177,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: gate %.2f passed for %d benchmarks\n", *gate, len(o.VsBaseline))
+	}
+	if *allocGate != 0 {
+		if err := o.checkAllocGate(*allocGate); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocgate %.2f passed for %d benchmarks\n", *allocGate, len(o.VsBaseline))
 	}
 }
 
@@ -328,6 +342,32 @@ func (o *Output) checkGate(min, alpha float64) error {
 	return nil
 }
 
+// checkAllocGate fails when any vs_baseline allocation ratio — baseline
+// allocs/op over current allocs/op, so 2.0 means the code allocates half
+// as much — is below min. Unlike ns/op, allocs/op is essentially
+// noise-free (the allocator is deterministic at steady state), so there
+// is no significance test: any benchmark allocating more than the
+// threshold allows fails outright. Benchmarks without allocation counts
+// on both sides are skipped.
+func (o *Output) checkAllocGate(min float64) error {
+	var bad []string
+	for _, d := range o.VsBaseline {
+		if d.BaselineAllocs == 0 || d.AllocsPerOp == 0 {
+			continue
+		}
+		ratio := float64(d.BaselineAllocs) / float64(d.AllocsPerOp)
+		if ratio >= min {
+			continue
+		}
+		bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs baseline %d (ratio %.2f < gate %.2f)",
+			d.Name, d.AllocsPerOp, d.BaselineAllocs, ratio, min))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("allocation regression gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
 // historyLine is one appended record of the perf log: enough to replot
 // the trajectory without the full per-run files.
 type historyLine struct {
@@ -380,30 +420,9 @@ func (o *Output) appendHistory(path, source string, now time.Time) error {
 // recorded run (chronological file order), plus a trend column of
 // last-over-first — above 1.0 the benchmark got slower over the log.
 func summarizeHistory(path string, w io.Writer) error {
-	f, err := os.Open(path)
+	lines, err := readHistory(path)
 	if err != nil {
 		return fmt.Errorf("-history-summary: %w", err)
-	}
-	defer f.Close()
-	var lines []historyLine
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var h historyLine
-		if err := json.Unmarshal([]byte(text), &h); err != nil {
-			return fmt.Errorf("-history-summary %s line %d: %w", path, len(lines)+1, err)
-		}
-		lines = append(lines, h)
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if len(lines) == 0 {
-		return fmt.Errorf("-history-summary: %s holds no history lines", path)
 	}
 	names := map[string]bool{}
 	for _, h := range lines {
@@ -447,6 +466,162 @@ func summarizeHistory(path string, w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// readHistory loads an appended BENCH_history.jsonl file.
+func readHistory(path string) ([]historyLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []historyLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var h historyLine
+		if err := json.Unmarshal([]byte(text), &h); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(lines)+1, err)
+		}
+		lines = append(lines, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%s holds no history lines", path)
+	}
+	return lines, nil
+}
+
+// plotColors is the polyline palette, cycled across benchmarks.
+var plotColors = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// plotHistory renders the history log as an SVG line chart: one polyline
+// per benchmark, each run's ns/op normalized to that benchmark's first
+// recorded value, so every line starts at 1.0 and drops below it when
+// the benchmark gets faster. The output is deterministic for a given
+// history file (benchmarks sorted by name, fixed palette cycling).
+func plotHistory(path, out string) error {
+	lines, err := readHistory(path)
+	if err != nil {
+		return fmt.Errorf("-history-plot: %w", err)
+	}
+	names := map[string]bool{}
+	for _, h := range lines {
+		for name := range h.NsPerOp {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	// Normalized series per benchmark; runs where it is absent carry NaN
+	// and break the polyline.
+	series := make(map[string][]float64, len(sorted))
+	maxRatio := 1.0
+	for _, name := range sorted {
+		vals := make([]float64, len(lines))
+		first := 0.0
+		for i, h := range lines {
+			v, ok := h.NsPerOp[name]
+			if !ok || v <= 0 {
+				vals[i] = -1 // absent
+				continue
+			}
+			if first == 0 {
+				first = v
+			}
+			vals[i] = v / first
+			if vals[i] > maxRatio {
+				maxRatio = vals[i]
+			}
+		}
+		series[name] = vals
+	}
+
+	const (
+		plotW, plotH = 640, 320
+		marginL      = 56
+		marginT      = 24
+		legendW      = 360
+		marginB      = 40
+	)
+	width := marginL + plotW + legendW
+	height := marginT + plotH + marginB
+	x := func(i int) float64 {
+		if len(lines) == 1 {
+			return marginL + plotW/2
+		}
+		return marginL + float64(i)*plotW/float64(len(lines)-1)
+	}
+	y := func(ratio float64) float64 {
+		return marginT + plotH - ratio/maxRatio*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="14" font-size="13">ns/op relative to first recorded run (%d runs, %s .. %s)</text>`+"\n",
+		marginL, len(lines), lines[0].Time, lines[len(lines)-1].Time)
+	// Axes and gridlines at 0.5 steps of the normalized ratio.
+	for r := 0.0; r <= maxRatio+1e-9; r += 0.5 {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y(r), marginL+plotW, y(r))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" fill="#555">%.1fx</text>`+"\n",
+			marginL-6, y(r)+4, r)
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">run 1</text>`+"\n", marginL, marginT+plotH+16)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#555">run %d</text>`+"\n",
+		marginL+plotW, marginT+plotH+16, len(lines))
+
+	for bi, name := range sorted {
+		color := plotColors[bi%len(plotColors)]
+		var pts []string
+		flush := func() {
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(pts, " "), color)
+			} else if len(pts) == 1 {
+				fmt.Fprintf(&b, `<circle cx="%s" r="2" fill="%s"/>`+"\n",
+					strings.Replace(pts[0], ",", `" cy="`, 1), color)
+			}
+			pts = pts[:0]
+		}
+		for i, v := range series[name] {
+			if v < 0 {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+		}
+		flush()
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%s</text>`+"\n",
+			marginL+plotW+12, marginT+14+14*bi, color, name)
+	}
+	b.WriteString("</svg>\n")
+
+	if out == "" {
+		_, err = os.Stdout.WriteString(b.String())
+		return err
+	}
+	if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d-benchmark trend chart to %s\n", len(sorted), out)
+	return nil
 }
 
 // parseLine decodes one testing-package benchmark line:

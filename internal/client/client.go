@@ -127,7 +127,10 @@ type Client struct {
 
 	handles    map[uint64]*handle
 	nextHandle uint64
-	versions   map[uint64]uint64
+	// hFree recycles closed handle structs; opens and closes are among the
+	// most frequent kernel calls the workload issues.
+	hFree    []*handle
+	versions map[uint64]uint64
 
 	// Poll-mode state: when each file's cached data was last validated,
 	// and the stale reads the weak scheme served (counted omnisciently).
@@ -397,7 +400,8 @@ func (c *Client) Open(user, proc int32, file uint64, read, write, migrated bool)
 	}
 
 	c.nextHandle++
-	h := &handle{
+	h := c.takeHandle()
+	*h = handle{
 		id:       uint64(c.cfg.ID)<<40 | c.nextHandle,
 		file:     file,
 		read:     read,
@@ -661,7 +665,20 @@ func (c *Client) Close(hid uint64) (time.Duration, error) {
 		}
 	}
 	c.emit(trace.KindClose, h, h.file, flags, h.pos, 0, size, h.user, h.proc)
+	c.hFree = append(c.hFree, h)
 	return lat, nil
+}
+
+// takeHandle pops a recycled handle struct or allocates a fresh one; the
+// caller overwrites every field. Handles dropped by Crash are simply
+// garbage-collected rather than recycled.
+func (c *Client) takeHandle() *handle {
+	if n := len(c.hFree); n > 0 {
+		h := c.hFree[n-1]
+		c.hFree = c.hFree[:n-1]
+		return h
+	}
+	return &handle{}
 }
 
 // Delete removes the file cluster-wide. Dirty cached bytes are discarded

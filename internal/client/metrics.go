@@ -2,7 +2,6 @@ package client
 
 import (
 	"strconv"
-	"time"
 
 	"spritefs/internal/metrics"
 )
@@ -18,8 +17,7 @@ func (c *Client) RegisterMetrics(r *metrics.Registry) {
 	c.VM.RegisterMetrics(r, ls)
 
 	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, ls, v)
 	}
 	ctr("spritefs_client_shared_read_bytes_total", "bytes",
 		"Bytes read through the server because the file was write-shared and uncacheable (Table 5 shared row).",
@@ -42,8 +40,7 @@ func (c *Client) RegisterMetrics(r *metrics.Registry) {
 		&c.bytesWrittenBack)
 
 	rctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, ls, v)
 	}
 	rctr("spritefs_client_recoveries_total", "runs",
 		"Completed runs of the server-recovery protocol.", &c.rec.Recoveries)
@@ -62,8 +59,8 @@ func (c *Client) RegisterMetrics(r *metrics.Registry) {
 	rctr("spritefs_client_lost_dirty_bytes_total", "bytes",
 		"Dirty cache bytes destroyed by those crashes — the delayed-write exposure Section 8.2 quantifies.",
 		&c.rec.LostDirtyBytes)
-	r.Seconds(metrics.Desc{Name: "spritefs_client_max_lost_dirty_age_seconds",
+	r.SecondsVar(metrics.Desc{Name: "spritefs_client_max_lost_dirty_age_seconds",
 		Help: "Age of the oldest dirty byte a crash destroyed; bounded by the 30-second cleaning delay when the cleaner is healthy.",
 		Kind: metrics.Gauge},
-		ls, func() time.Duration { return c.rec.MaxLostDirtyAge })
+		ls, &c.rec.MaxLostDirtyAge)
 }

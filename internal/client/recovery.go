@@ -10,7 +10,7 @@
 package client
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"spritefs/internal/fscache"
@@ -117,7 +117,7 @@ func (c *Client) RecoverServer(srv *server.Server) RecoveryResult {
 	for f := range counts {
 		files = append(files, f)
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	slices.Sort(files)
 
 	for _, file := range files {
 		n := counts[file]

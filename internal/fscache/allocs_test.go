@@ -1,0 +1,59 @@
+package fscache
+
+import (
+	"testing"
+	"time"
+)
+
+// The cleaner's periodic sweep is required to be allocation-free in
+// steady state: after the block arena, per-file indexes and scratch
+// buffers reach their high-water marks, dirtying files and sweeping them
+// with Clean must not touch the garbage collector. `make allocscheck`
+// runs these gates alongside the scheduler's and network's.
+
+func TestCleanSweepZeroAllocSteadyState(t *testing.T) {
+	const nfiles = 16
+	c := New(256)
+	now := time.Duration(0)
+	dirtyAll := func() {
+		for f := uint64(1); f <= nfiles; f++ {
+			c.Write(f, 0, 2*BlockSize, 0, noAttr, now)
+		}
+	}
+	// Warm-up: populate every index and scratch buffer once, then drain.
+	dirtyAll()
+	now += WritebackDelay
+	c.Clean(now)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		now += time.Second
+		dirtyAll()
+		now += WritebackDelay
+		if wbs := c.Clean(now); len(wbs) != 2*nfiles {
+			t.Fatalf("swept %d writebacks, want %d", len(wbs), 2*nfiles)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("dirty+Clean cycle allocated %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestFlushFileZeroAllocSteadyState pins the same property for the
+// synchronous flush paths (Fsync/Recall share flushFile).
+func TestFlushFileZeroAllocSteadyState(t *testing.T) {
+	c := New(64)
+	now := time.Duration(0)
+	c.Write(7, 0, BlockSize, 0, noAttr, now)
+	c.Fsync(7, now)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		now += time.Second
+		c.Write(7, 0, BlockSize, 0, noAttr, now)
+		if wbs := c.Fsync(7, now); len(wbs) != 1 {
+			t.Fatalf("fsync returned %d writebacks, want 1", len(wbs))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("write+Fsync cycle allocated %.1f/op in steady state, want 0", allocs)
+	}
+}

@@ -2,7 +2,7 @@ package fscache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"spritefs/internal/stats"
@@ -137,6 +137,7 @@ type fileIndex struct {
 	dense  []int32         // slot+1 per block index, 0 = absent
 	sparse map[int64]int32 // slots for block indices >= fiDenseMax
 	n      int             // resident blocks of this file
+	dirty  int             // dirty resident blocks of this file
 }
 
 // get returns the arena slot holding block idx, or -1.
@@ -194,8 +195,7 @@ func (fi *fileIndex) appendIndices(buf []int64) []int64 {
 		for idx := range fi.sparse {
 			buf = append(buf, idx)
 		}
-		tail := buf[start:]
-		sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+		slices.Sort(buf[start:])
 	}
 	return buf
 }
@@ -215,11 +215,27 @@ type Cache struct {
 	wbDelay    time.Duration // 0 = default WritebackDelay
 	prefetch   int           // extra sequential blocks fetched per miss
 
+	// dirtyFiles holds the id of every file with at least one dirty
+	// resident block, maintained incrementally at the dirty/clean
+	// transitions. The cleaner sweep iterates this set instead of scanning
+	// every resident file, making sweep cost proportional to the dirty
+	// population rather than the cache population.
+	dirtyFiles map[uint64]struct{}
+
 	// Reusable result buffers for the hot Read/Write paths. The slices in
 	// a returned ReadResult/WriteResult alias these and are valid until
 	// the next Read or Write on this cache.
 	idxScratch []int64
 	wbScratch  []Writeback
+
+	// Reusable buffers for the cleaner-family paths. The slice returned by
+	// Clean/Fsync/Recall/RecoverFlush aliases cleanScratch and is valid
+	// until the next such call on this cache; every caller consumes (or
+	// ships) the batch before triggering another flush, which is what keeps
+	// steady-state sweeps allocation-free.
+	dirtyIDScratch []uint64
+	cleanIdxScr    []int64
+	cleanScratch   []Writeback
 
 	st Stats
 }
@@ -242,11 +258,12 @@ func New(capacityBlocks int) *Cache {
 		panic("fscache: non-positive capacity")
 	}
 	return &Cache{
-		capacity: capacityBlocks,
-		freeB:    -1,
-		lruFront: -1,
-		lruBack:  -1,
-		files:    make(map[uint64]*fileIndex),
+		capacity:   capacityBlocks,
+		freeB:      -1,
+		lruFront:   -1,
+		lruBack:    -1,
+		files:      make(map[uint64]*fileIndex),
+		dirtyFiles: make(map[uint64]struct{}),
 	}
 }
 
@@ -365,17 +382,36 @@ func (c *Cache) remove(s int32) {
 	c.lruUnlink(s)
 	fi := c.files[b.file]
 	fi.del(b.index)
+	if b.dirty {
+		c.ndirty--
+		c.dirtyBytes -= b.dirtyHi
+		c.noteCleaned(fi, b.file)
+	}
 	if fi.n == 0 {
 		delete(c.files, b.file)
 		c.fiFree = append(c.fiFree, fi)
 	}
 	c.nblocks--
-	if b.dirty {
-		c.ndirty--
-		c.dirtyBytes -= b.dirtyHi
-	}
 	b.next = c.freeB
 	c.freeB = s
+}
+
+// noteDirtied records a clean->dirty block transition on file, keeping the
+// dirty-file set in step.
+func (c *Cache) noteDirtied(file uint64) {
+	fi := c.files[file]
+	fi.dirty++
+	if fi.dirty == 1 {
+		c.dirtyFiles[file] = struct{}{}
+	}
+}
+
+// noteCleaned records a dirty->clean block transition on fi (file's index).
+func (c *Cache) noteCleaned(fi *fileIndex, file uint64) {
+	fi.dirty--
+	if fi.dirty == 0 {
+		delete(c.dirtyFiles, file)
+	}
 }
 
 // cleanScanDepth bounds how far from the LRU tail the replacement scan
@@ -594,6 +630,7 @@ func (c *Cache) Write(file uint64, offset, length, fileSizeBefore int64, attr At
 			b.dirty = true
 			b.dirtyAt = now
 			c.ndirty++
+			c.noteDirtied(file)
 		}
 		b.lastWr = now
 		if hi > b.validHi {

@@ -1,7 +1,7 @@
 package fscache
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -36,11 +36,27 @@ func (c *Cache) WriteDelay() time.Duration {
 // returned for writeback, matching Sprite's rule that "all dirty blocks
 // for a file are written to the server if any block in the file has been
 // dirty for 30 seconds". Returned blocks become clean.
+//
+// Only the dirty-file set is visited — sweep cost is proportional to the
+// dirty population, not the cache population. Dirty file ids are swept in
+// ascending order (never map iteration order): the age summaries
+// accumulate floating-point samples whose sum depends on ordering, and
+// metric dumps are required to be byte-identical across runs. Any file
+// the old full scan would have flushed has an expired dirty block, so it
+// is in the dirty set and the emitted writeback stream is unchanged.
+//
+// The returned slice aliases a per-cache scratch buffer: it is valid
+// until the next Clean/Fsync/Recall/RecoverFlush on this cache.
 func (c *Cache) Clean(now time.Duration) []Writeback {
-	var out []Writeback
+	out := c.cleanScratch[:0]
 	delay := c.WriteDelay()
-	var idxs []int64
-	for _, file := range c.sortedFiles() {
+	ids := c.dirtyIDScratch[:0]
+	for id := range c.dirtyFiles {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	idxs := c.cleanIdxScr
+	for _, file := range ids {
 		fi := c.files[file]
 		expired := false
 		for _, v := range fi.dense {
@@ -65,32 +81,23 @@ func (c *Cache) Clean(now time.Duration) []Writeback {
 		idxs = fi.appendIndices(idxs[:0])
 		for _, idx := range idxs {
 			if b := &c.blocks[fi.get(idx)]; b.dirty {
-				out = append(out, c.cleanBlock(b, CleanDelay, now))
+				out = append(out, c.cleanBlock(fi, b, CleanDelay, now))
 			}
 		}
 	}
+	c.cleanIdxScr = idxs[:0]
+	c.dirtyIDScratch = ids[:0]
+	c.cleanScratch = out[:0]
 	return out
 }
 
-// sortedFiles returns the resident file IDs in ascending order. Cleaning
-// scans must not follow map iteration order: the age summaries accumulate
-// floating-point samples whose sum depends on ordering, and metric dumps
-// are required to be byte-identical across runs.
-func (c *Cache) sortedFiles() []uint64 {
-	ids := make([]uint64, 0, len(c.files))
-	for id := range c.files {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-func (c *Cache) cleanBlock(b *block, reason CleanReason, now time.Duration) Writeback {
+func (c *Cache) cleanBlock(fi *fileIndex, b *block, reason CleanReason, now time.Duration) Writeback {
 	wb := c.makeWriteback(b, reason, now)
 	b.dirty = false
 	c.ndirty--
 	c.dirtyBytes -= b.dirtyHi
 	b.dirtyHi = 0
+	c.noteCleaned(fi, b.file)
 	return wb
 }
 
@@ -106,17 +113,22 @@ func (c *Cache) Recall(file uint64, now time.Duration) []Writeback {
 	return c.flushFile(file, CleanRecall, now)
 }
 
+// flushFile cleans every dirty block of file. Like Clean, the returned
+// slice aliases the per-cache scratch buffer.
 func (c *Cache) flushFile(file uint64, reason CleanReason, now time.Duration) []Writeback {
 	fi := c.files[file]
-	if fi == nil {
+	if fi == nil || fi.dirty == 0 {
 		return nil
 	}
-	var out []Writeback
-	for _, idx := range fi.appendIndices(nil) {
+	out := c.cleanScratch[:0]
+	idxs := fi.appendIndices(c.cleanIdxScr[:0])
+	for _, idx := range idxs {
 		if b := &c.blocks[fi.get(idx)]; b.dirty {
-			out = append(out, c.cleanBlock(b, reason, now))
+			out = append(out, c.cleanBlock(fi, b, reason, now))
 		}
 	}
+	c.cleanIdxScr = idxs[:0]
+	c.cleanScratch = out[:0]
 	return out
 }
 
@@ -131,32 +143,19 @@ func (c *Cache) Invalidate(file uint64) int {
 	if fi == nil {
 		return 0
 	}
-	idxs := fi.appendIndices(nil)
+	idxs := fi.appendIndices(c.cleanIdxScr[:0])
 	for _, idx := range idxs {
 		c.remove(fi.get(idx))
 	}
-	return len(idxs)
-}
-
-// fileDirty reports whether any block of fi is dirty.
-func (c *Cache) fileDirty(fi *fileIndex) bool {
-	for _, v := range fi.dense {
-		if v != 0 && c.blocks[v-1].dirty {
-			return true
-		}
-	}
-	for _, s := range fi.sparse {
-		if c.blocks[s].dirty {
-			return true
-		}
-	}
-	return false
+	n := len(idxs)
+	c.cleanIdxScr = idxs[:0]
+	return n
 }
 
 // FileDirty reports whether file has any dirty blocks resident.
 func (c *Cache) FileDirty(file uint64) bool {
 	fi := c.files[file]
-	return fi != nil && c.fileDirty(fi)
+	return fi != nil && fi.dirty > 0
 }
 
 // Delete drops every resident block of file; dirty bytes vanish without
@@ -170,13 +169,15 @@ func (c *Cache) Delete(file uint64) int64 {
 		return 0
 	}
 	var saved int64
-	for _, idx := range fi.appendIndices(nil) {
+	idxs := fi.appendIndices(c.cleanIdxScr[:0])
+	for _, idx := range idxs {
 		s := fi.get(idx)
 		if b := &c.blocks[s]; b.dirty {
 			saved += b.dirtyHi
 		}
 		c.remove(s)
 	}
+	c.cleanIdxScr = idxs[:0]
 	c.st.BytesSavedByDelete += saved
 	return saved
 }
@@ -191,7 +192,8 @@ func (c *Cache) Truncate(file uint64, newSize int64) int64 {
 	var saved int64
 	cutBlock := newSize / BlockSize
 	cutWithin := newSize % BlockSize
-	for _, idx := range fi.appendIndices(nil) {
+	idxs := fi.appendIndices(c.cleanIdxScr[:0])
+	for _, idx := range idxs {
 		s := fi.get(idx)
 		b := &c.blocks[s]
 		switch {
@@ -211,10 +213,12 @@ func (c *Cache) Truncate(file uint64, newSize int64) int64 {
 				if b.dirtyHi == 0 {
 					b.dirty = false
 					c.ndirty--
+					c.noteCleaned(fi, file)
 				}
 			}
 		}
 	}
+	c.cleanIdxScr = idxs[:0]
 	c.st.BytesSavedByDelete += saved
 	return saved
 }

@@ -12,7 +12,7 @@ package fscache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -51,6 +51,7 @@ func (c *Cache) DiscardAll(now time.Duration) CrashLoss {
 	// The file indexes still in the map hold stale slots; drop them. (The
 	// fiFree pool holds only emptied, all-zero indexes and stays usable.)
 	c.files = make(map[uint64]*fileIndex)
+	clear(c.dirtyFiles)
 	c.nblocks = 0
 	c.ndirty = 0
 	c.dirtyBytes = 0
@@ -58,15 +59,14 @@ func (c *Cache) DiscardAll(now time.Duration) CrashLoss {
 }
 
 // DirtyFiles returns the ids of all files with at least one dirty block,
-// in ascending order so recovery replay is deterministic.
+// in ascending order so recovery replay is deterministic. The result is
+// freshly allocated (recovery holds it across per-file flushes).
 func (c *Cache) DirtyFiles() []uint64 {
-	var out []uint64
-	for f, fi := range c.files {
-		if c.fileDirty(fi) {
-			out = append(out, f)
-		}
+	out := make([]uint64, 0, len(c.dirtyFiles))
+	for f := range c.dirtyFiles {
+		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -84,10 +84,10 @@ func (c *Cache) RecoverFlush(file uint64, now time.Duration) []Writeback {
 // It returns the first inconsistency found, or nil. The fault harness
 // calls it after every injected fault sequence.
 func (c *Cache) CheckInvariants() error {
-	var nblocks, ndirty int
+	var nblocks, ndirty, ndirtyFiles int
 	var dirtyBytes int64
 	for f, fi := range c.files {
-		fn := 0
+		fn, fd := 0, 0
 		audit := func(idx int64, s int32) error {
 			fn++
 			nblocks++
@@ -103,6 +103,7 @@ func (c *Cache) CheckInvariants() error {
 			}
 			if b.dirty {
 				ndirty++
+				fd++
 				dirtyBytes += b.dirtyHi
 				if b.dirtyHi == 0 {
 					return fmt.Errorf("fscache: block (%#x,%d) dirty with zero dirtyHi", f, idx)
@@ -133,6 +134,18 @@ func (c *Cache) CheckInvariants() error {
 		if fn == 0 {
 			return fmt.Errorf("fscache: empty file index for %#x not released", f)
 		}
+		if fd != fi.dirty {
+			return fmt.Errorf("fscache: file %#x dirty count %d, recount %d", f, fi.dirty, fd)
+		}
+		if _, in := c.dirtyFiles[f]; in != (fd > 0) {
+			return fmt.Errorf("fscache: file %#x has %d dirty blocks but dirty-set membership %v", f, fd, in)
+		}
+		if fd > 0 {
+			ndirtyFiles++
+		}
+	}
+	if ndirtyFiles != len(c.dirtyFiles) {
+		return fmt.Errorf("fscache: dirty-file set holds %d entries, recount %d", len(c.dirtyFiles), ndirtyFiles)
 	}
 	if nblocks != c.nblocks {
 		return fmt.Errorf("fscache: nblocks %d, recount %d", c.nblocks, nblocks)

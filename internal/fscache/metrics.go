@@ -1,86 +1,131 @@
 package fscache
 
 import (
+	"sync"
+
 	"spritefs/internal/metrics"
-	"spritefs/internal/stats"
 )
+
+// cacheDescs is the full Desc set for one registration prefix. Descs are
+// built once per prefix and cached: a scale-out topology registers
+// thousands of per-client caches under the same two prefixes, and
+// rebuilding every name by concatenation per cache was a measurable slice
+// of registration-time allocation.
+type cacheDescs struct {
+	writebackBytes metrics.Desc
+	deleteSaved    metrics.Desc
+	replacedFile   metrics.Desc
+	replacedVM     metrics.Desc
+	replacementAge metrics.Desc
+	cleaned        metrics.Desc
+	cleanAge       metrics.Desc
+	sizeBytes      metrics.Desc
+	dirtyBytes     metrics.Desc
+	capacity       metrics.Desc
+	ops            [11]metrics.Desc
+}
+
+var (
+	descMu    sync.Mutex
+	descCache = map[string]*cacheDescs{}
+)
+
+func descsFor(prefix string) *cacheDescs {
+	descMu.Lock()
+	defer descMu.Unlock()
+	if d := descCache[prefix]; d != nil {
+		return d
+	}
+	ctr := func(name, unit, help string) metrics.Desc {
+		return metrics.Desc{Name: prefix + name, Unit: unit, Help: help, Kind: metrics.Counter}
+	}
+	gauge := func(name, unit, help string) metrics.Desc {
+		return metrics.Desc{Name: prefix + name, Unit: unit, Help: help, Kind: metrics.Gauge}
+	}
+	d := &cacheDescs{
+		writebackBytes: ctr("_writeback_bytes_total", "bytes",
+			"Dirty bytes shipped to servers by cleaning (all reasons; Table 6 writeback traffic)."),
+		deleteSaved: ctr("_delete_saved_bytes_total", "bytes",
+			"Dirty bytes discarded before writeback because the file was deleted or truncated (Table 6 bytes-saved row)."),
+		replacedFile: ctr("_replaced_file_total", "blocks",
+			"LRU victims replaced to hold another file block (Table 8 file row)."),
+		replacedVM: ctr("_replaced_vm_total", "blocks",
+			"Cache blocks handed to the virtual memory system (Table 8 VM row)."),
+		replacementAge: metrics.Desc{Name: prefix + "_replacement_age_seconds",
+			Help: "Time since last reference when a block was replaced (Table 8 age column)."},
+		cleaned: ctr("_cleaned_total", "blocks",
+			"Dirty blocks written back, by cleaning reason (Table 9 rows)."),
+		cleanAge: metrics.Desc{Name: prefix + "_clean_age_seconds",
+			Help: "Time since last write when a dirty block was cleaned, by reason (Table 9 age columns)."},
+		sizeBytes: gauge("_size_bytes", "bytes",
+			"Resident cache size (the Table 4 sampled quantity)."),
+		dirtyBytes: gauge("_dirty_bytes", "bytes",
+			"Dirty bytes awaiting writeback (the delayed-write exposure the fault study measures)."),
+		capacity: gauge("_capacity_blocks", "blocks",
+			"Current cache capacity negotiated with the VM system."),
+		ops: [11]metrics.Desc{
+			ctr("_read_ops_total", "ops", "Block-granularity cache read operations."),
+			ctr("_read_misses_total", "ops", "Read operations not satisfied in the cache (Table 6 miss ratio numerator)."),
+			ctr("_read_bytes_total", "bytes", "Bytes requested from the cache by applications (Table 5 file-read traffic)."),
+			ctr("_read_miss_bytes_total", "bytes", "Bytes fetched from servers to satisfy reads (Table 6 miss traffic)."),
+			ctr("_write_ops_total", "ops", "Block-granularity cache write operations."),
+			ctr("_write_fetches_total", "ops", "Partial writes of non-resident blocks that forced a fetch (Table 6 write-fetch row)."),
+			ctr("_write_bytes_total", "bytes", "Bytes written into the cache by applications (Table 5 file-write traffic)."),
+			ctr("_paging_read_ops_total", "ops", "Cache read operations issued by the VM system (code and initialized-data faults)."),
+			ctr("_paging_read_misses_total", "ops", "Paging read operations that missed (Table 6 paging row)."),
+			ctr("_paging_read_bytes_total", "bytes", "Portion of read bytes that was paging traffic (Table 5 cacheable-paging row)."),
+			ctr("_paging_read_miss_bytes_total", "bytes", "Portion of missed bytes that was paging traffic."),
+		},
+	}
+	descCache[prefix] = d
+	return d
+}
 
 // RegisterMetrics registers every cache counter into the central registry
 // under the given family prefix ("spritefs_cache" for client caches,
 // "spritefs_server_cache" for the server stores' internal caches) with the
-// given instance labels (e.g. client="7"). All values are read from the
-// live counters at snapshot time, so the registry is always exactly as
-// current as Stats().
+// given instance labels (e.g. client="7"). Counters and distributions are
+// registered as direct pointers into the live Stats block, so the registry
+// is always exactly as current as Stats() and increments stay plain field
+// bumps; only the derived gauges read through closures.
 //
 // The per-category OpStats pair registers twice under a scope label:
 // scope="all" counts every access, scope="migrated" the migrated-process
 // subset (Table 6's two columns).
 func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string, ls metrics.Labels) {
-	c.registerOps(r, prefix, ls, "all", &c.st.All)
-	c.registerOps(r, prefix, ls, "migrated", &c.st.Migrated)
+	d := descsFor(prefix)
+	c.registerOps(r, d, ls, "all", &c.st.All)
+	c.registerOps(r, d, ls, "migrated", &c.st.Migrated)
 
-	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: prefix + name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
-	}
-	ctr("_writeback_bytes_total", "bytes",
-		"Dirty bytes shipped to servers by cleaning (all reasons; Table 6 writeback traffic).",
-		&c.st.BytesWrittenBack)
-	ctr("_delete_saved_bytes_total", "bytes",
-		"Dirty bytes discarded before writeback because the file was deleted or truncated (Table 6 bytes-saved row).",
-		&c.st.BytesSavedByDelete)
-	ctr("_replaced_file_total", "blocks",
-		"LRU victims replaced to hold another file block (Table 8 file row).", &c.st.ReplacedFile)
-	ctr("_replaced_vm_total", "blocks",
-		"Cache blocks handed to the virtual memory system (Table 8 VM row).", &c.st.ReplacedVM)
+	r.IntVar(d.writebackBytes, ls, &c.st.BytesWrittenBack)
+	r.IntVar(d.deleteSaved, ls, &c.st.BytesSavedByDelete)
+	r.IntVar(d.replacedFile, ls, &c.st.ReplacedFile)
+	r.IntVar(d.replacedVM, ls, &c.st.ReplacedVM)
 
-	r.HistSeconds(metrics.Desc{Name: prefix + "_replacement_age_seconds",
-		Help: "Time since last reference when a block was replaced (Table 8 age column)."},
-		ls, func() stats.Welford { return c.st.ReplacementAge })
+	r.HistSecondsVar(d.replacementAge, ls, &c.st.ReplacementAge)
 
 	for reason := CleanReason(0); reason < NumCleanReasons; reason++ {
-		reason := reason
 		rls := withLabel(ls, "reason", reason.String())
-		r.Int(metrics.Desc{Name: prefix + "_cleaned_total", Unit: "blocks",
-			Help: "Dirty blocks written back, by cleaning reason (Table 9 rows).",
-			Kind: metrics.Counter},
-			rls, func() int64 { return c.st.Cleaned[reason] })
-		r.HistSeconds(metrics.Desc{Name: prefix + "_clean_age_seconds",
-			Help: "Time since last write when a dirty block was cleaned, by reason (Table 9 age columns)."},
-			rls, func() stats.Welford { return c.st.CleanAge[reason] })
+		r.IntVar(d.cleaned, rls, &c.st.Cleaned[reason])
+		r.HistSecondsVar(d.cleanAge, rls, &c.st.CleanAge[reason])
 	}
 
-	gauge := func(name, unit, help string, fn func() int64) {
-		r.Int(metrics.Desc{Name: prefix + name, Unit: unit, Help: help, Kind: metrics.Gauge}, ls, fn)
-	}
-	gauge("_size_bytes", "bytes",
-		"Resident cache size (the Table 4 sampled quantity).", c.SizeBytes)
-	gauge("_dirty_bytes", "bytes",
-		"Dirty bytes awaiting writeback (the delayed-write exposure the fault study measures).",
-		c.DirtyBytes)
-	gauge("_capacity_blocks", "blocks",
-		"Current cache capacity negotiated with the VM system.",
-		func() int64 { return int64(c.capacity) })
+	r.Int(d.sizeBytes, ls, c.SizeBytes)
+	r.IntVar(d.dirtyBytes, ls, &c.dirtyBytes)
+	r.Int(d.capacity, ls, func() int64 { return int64(c.capacity) })
 }
 
 // registerOps registers one OpStats counter block under a scope label.
-func (c *Cache) registerOps(r *metrics.Registry, prefix string, ls metrics.Labels, scope string, o *OpStats) {
+func (c *Cache) registerOps(r *metrics.Registry, d *cacheDescs, ls metrics.Labels, scope string, o *OpStats) {
 	sls := withLabel(ls, "scope", scope)
-	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: prefix + name, Unit: unit, Help: help, Kind: metrics.Counter},
-			sls, func() int64 { return *v })
+	vars := [11]*int64{
+		&o.ReadOps, &o.ReadMisses, &o.BytesRead, &o.BytesReadMissed,
+		&o.WriteOps, &o.WriteFetches, &o.BytesWritten,
+		&o.PagingReadOps, &o.PagingReadMiss, &o.PagingBytesRead, &o.PagingBytesMiss,
 	}
-	ctr("_read_ops_total", "ops", "Block-granularity cache read operations.", &o.ReadOps)
-	ctr("_read_misses_total", "ops", "Read operations not satisfied in the cache (Table 6 miss ratio numerator).", &o.ReadMisses)
-	ctr("_read_bytes_total", "bytes", "Bytes requested from the cache by applications (Table 5 file-read traffic).", &o.BytesRead)
-	ctr("_read_miss_bytes_total", "bytes", "Bytes fetched from servers to satisfy reads (Table 6 miss traffic).", &o.BytesReadMissed)
-	ctr("_write_ops_total", "ops", "Block-granularity cache write operations.", &o.WriteOps)
-	ctr("_write_fetches_total", "ops", "Partial writes of non-resident blocks that forced a fetch (Table 6 write-fetch row).", &o.WriteFetches)
-	ctr("_write_bytes_total", "bytes", "Bytes written into the cache by applications (Table 5 file-write traffic).", &o.BytesWritten)
-	ctr("_paging_read_ops_total", "ops", "Cache read operations issued by the VM system (code and initialized-data faults).", &o.PagingReadOps)
-	ctr("_paging_read_misses_total", "ops", "Paging read operations that missed (Table 6 paging row).", &o.PagingReadMiss)
-	ctr("_paging_read_bytes_total", "bytes", "Portion of read bytes that was paging traffic (Table 5 cacheable-paging row).", &o.PagingBytesRead)
-	ctr("_paging_read_miss_bytes_total", "bytes", "Portion of missed bytes that was paging traffic.", &o.PagingBytesMiss)
+	for i := range vars {
+		r.IntVar(d.ops[i], sls, vars[i])
+	}
 }
 
 // withLabel returns ls plus one more label, without aliasing ls's backing

@@ -1,8 +1,9 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -56,37 +57,54 @@ func (ls Labels) String() string {
 	if len(ls) == 0 {
 		return ""
 	}
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, l := range ls {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(l.Key)
-		b.WriteString(`="`)
-		appendEscapedLabelValue(&b, l.Value)
-		b.WriteByte('"')
+	return string(appendLabelSet(nil, nil, ls))
+}
+
+// appendLabelSet renders the concatenation of two label sets into buf —
+// the same bytes Labels.String produces for the combined set, without
+// allocating. Registration renders scope+instance labels through this
+// into the store's scratch buffer and interns the result.
+func appendLabelSet(buf []byte, scope, ls Labels) []byte {
+	if len(scope)+len(ls) == 0 {
+		return buf
 	}
-	b.WriteByte('}')
-	return b.String()
+	buf = append(buf, '{')
+	for i, l := range scope {
+		buf = appendLabel(buf, l, i > 0)
+	}
+	for i, l := range ls {
+		buf = appendLabel(buf, l, len(scope)+i > 0)
+	}
+	return append(buf, '}')
+}
+
+func appendLabel(buf []byte, l Label, comma bool) []byte {
+	if comma {
+		buf = append(buf, ',')
+	}
+	buf = append(buf, l.Key...)
+	buf = append(buf, '=', '"')
+	buf = appendEscapedLabelValue(buf, l.Value)
+	return append(buf, '"')
 }
 
 // appendEscapedLabelValue writes v with the three escapes the exposition
 // format defines for label values: \\ for backslash, \" for double quote,
 // \n for line feed.
-func appendEscapedLabelValue(b *strings.Builder, v string) {
+func appendEscapedLabelValue(buf []byte, v string) []byte {
 	for i := 0; i < len(v); i++ {
 		switch c := v[i]; c {
 		case '\\':
-			b.WriteString(`\\`)
+			buf = append(buf, '\\', '\\')
 		case '"':
-			b.WriteString(`\"`)
+			buf = append(buf, '\\', '"')
 		case '\n':
-			b.WriteString(`\n`)
+			buf = append(buf, '\\', 'n')
 		default:
-			b.WriteByte(c)
+			buf = append(buf, c)
 		}
 	}
+	return buf
 }
 
 // Desc is a metric family's self-description: everything docs/METRICS.md
@@ -106,17 +124,48 @@ type Desc struct {
 
 // metric is one registered instance: a family member with a concrete
 // label set and a read-at-snapshot-time view over the owner's counter.
+// The value source is either a direct pointer into the owner's counter
+// (the Var registrations — the hot path stays a plain field increment and
+// the registry costs nothing per event) or a closure (for values that
+// must be computed at snapshot time).
 type metric struct {
 	labels Labels
 	key    string // rendered labels, the within-family identity
 
-	// Exactly one of the three is set, fixing the instance's value type.
-	intFn func() int64
-	durFn func() time.Duration
-	sumFn func() stats.Welford
+	// Exactly one of the six is set, fixing the instance's value type.
+	intPtr *int64
+	durPtr *time.Duration
+	sumPtr *stats.Welford
+	intFn  func() int64
+	durFn  func() time.Duration
+	sumFn  func() stats.Welford
 	// scale multiplies summary sample values at export (e.g. 1e-9 for
 	// Welford accumulators that collected nanoseconds but export seconds).
 	scale float64
+}
+
+func (m *metric) isInt() bool { return m.intPtr != nil || m.intFn != nil }
+func (m *metric) isDur() bool { return m.durPtr != nil || m.durFn != nil }
+
+func (m *metric) intVal() int64 {
+	if m.intPtr != nil {
+		return *m.intPtr
+	}
+	return m.intFn()
+}
+
+func (m *metric) durVal() time.Duration {
+	if m.durPtr != nil {
+		return *m.durPtr
+	}
+	return m.durFn()
+}
+
+func (m *metric) sumVal() stats.Welford {
+	if m.sumPtr != nil {
+		return *m.sumPtr
+	}
+	return m.sumFn()
 }
 
 // Family is one named metric with all its registered instances.
@@ -150,7 +199,7 @@ func (f *Family) LabelKeys() []string {
 			out = append(out, k)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -166,15 +215,37 @@ type Registry struct {
 	scope Labels
 }
 
+// labelSet is one interned rendered label set shared by every instance
+// registered with the same effective (scope + instance) labels. A
+// thousand families with a client="7" instance share one key string and
+// one canonical Labels slice instead of re-rendering a thousand copies.
+type labelSet struct {
+	key    string
+	labels Labels
+}
+
 // store is the family set shared by a registry and all its scoped views.
 type store struct {
 	fams   []*Family
 	byName map[string]*Family
+	// keys interns rendered label sets by their rendered form. Label keys
+	// are trusted identifiers (they are not escaped in the rendered form),
+	// so the rendered bytes identify the set.
+	keys map[string]*labelSet
+	// slab batches metric allocations: registration is the dominant
+	// allocation site when a scale-out topology builds thousands of
+	// per-client component stacks, and one bump-pointer chunk replaces
+	// hundreds of individual heap objects.
+	slab    []metric
+	scratch []byte
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{s: &store{byName: make(map[string]*Family)}}
+	return &Registry{s: &store{
+		byName: make(map[string]*Family),
+		keys:   make(map[string]*labelSet),
+	}}
 }
 
 // Scoped returns a view of the same registry that prepends the given
@@ -208,16 +279,34 @@ func (r *Registry) family(d Desc) *Family {
 	return f
 }
 
-func (r *Registry) add(d Desc, ls Labels, m *metric) {
-	f := r.family(d)
-	if len(r.scope) > 0 {
-		scoped := make(Labels, 0, len(r.scope)+len(ls))
-		scoped = append(scoped, r.scope...)
-		scoped = append(scoped, ls...)
-		ls = scoped
+func (s *store) intern(scope, ls Labels) *labelSet {
+	s.scratch = appendLabelSet(s.scratch[:0], scope, ls)
+	if set, ok := s.keys[string(s.scratch)]; ok {
+		return set
 	}
-	m.labels = ls
-	m.key = ls.String()
+	merged := make(Labels, 0, len(scope)+len(ls))
+	merged = append(merged, scope...)
+	merged = append(merged, ls...)
+	set := &labelSet{key: string(s.scratch), labels: merged}
+	s.keys[set.key] = set
+	return set
+}
+
+func (s *store) newMetric() *metric {
+	if len(s.slab) == 0 {
+		s.slab = make([]metric, 512)
+	}
+	m := &s.slab[0]
+	s.slab = s.slab[1:]
+	return m
+}
+
+func (r *Registry) add(d Desc, ls Labels) *metric {
+	f := r.family(d)
+	set := r.s.intern(r.scope, ls)
+	m := r.s.newMetric()
+	m.labels = set.labels
+	m.key = set.key
 	if f.byKey == nil {
 		f.byKey = make(map[string]*metric)
 	}
@@ -226,6 +315,7 @@ func (r *Registry) add(d Desc, ls Labels, m *metric) {
 	}
 	f.byKey[m.key] = m
 	f.instances = append(f.instances, m)
+	return m
 }
 
 // Int registers an integer-valued instance (counter or gauge) whose value
@@ -234,7 +324,17 @@ func (r *Registry) Int(d Desc, ls Labels, fn func() int64) {
 	if d.Kind == Summary {
 		panic("metrics: Int registration with Summary kind")
 	}
-	r.add(d, ls, &metric{intFn: fn})
+	r.add(d, ls).intFn = fn
+}
+
+// IntVar registers an integer-valued instance read directly from *v at
+// snapshot time. This is the handle form: the owner keeps incrementing
+// its own field and the registry never touches the hot path.
+func (r *Registry) IntVar(d Desc, ls Labels, v *int64) {
+	if d.Kind == Summary {
+		panic("metrics: IntVar registration with Summary kind")
+	}
+	r.add(d, ls).intPtr = v
 }
 
 // Seconds registers a duration-valued instance exported in seconds. The
@@ -247,14 +347,37 @@ func (r *Registry) Seconds(d Desc, ls Labels, fn func() time.Duration) {
 	if d.Unit == "" {
 		d.Unit = "seconds"
 	}
-	r.add(d, ls, &metric{durFn: fn})
+	r.add(d, ls).durFn = fn
+}
+
+// SecondsVar registers a duration-valued instance read directly from *v
+// at snapshot time (see IntVar).
+func (r *Registry) SecondsVar(d Desc, ls Labels, v *time.Duration) {
+	if d.Kind == Summary {
+		panic("metrics: SecondsVar registration with Summary kind")
+	}
+	if d.Unit == "" {
+		d.Unit = "seconds"
+	}
+	r.add(d, ls).durPtr = v
 }
 
 // Hist registers a distribution instance backed by a stats.Welford
 // accumulator; exports expand it into _count/_sum/_mean/_stddev/_min/_max.
 func (r *Registry) Hist(d Desc, ls Labels, fn func() stats.Welford) {
 	d.Kind = Summary
-	r.add(d, ls, &metric{sumFn: fn, scale: 1})
+	m := r.add(d, ls)
+	m.sumFn = fn
+	m.scale = 1
+}
+
+// HistVar registers a distribution instance read directly from *w at
+// snapshot time (see IntVar).
+func (r *Registry) HistVar(d Desc, ls Labels, w *stats.Welford) {
+	d.Kind = Summary
+	m := r.add(d, ls)
+	m.sumPtr = w
+	m.scale = 1
 }
 
 // HistSeconds registers a distribution whose Welford accumulator collected
@@ -265,7 +388,21 @@ func (r *Registry) HistSeconds(d Desc, ls Labels, fn func() stats.Welford) {
 	if d.Unit == "" {
 		d.Unit = "seconds"
 	}
-	r.add(d, ls, &metric{sumFn: fn, scale: 1e-9})
+	m := r.add(d, ls)
+	m.sumFn = fn
+	m.scale = 1e-9
+}
+
+// HistSecondsVar registers a nanosecond-sample distribution read directly
+// from *w at snapshot time (see HistSeconds and IntVar).
+func (r *Registry) HistSecondsVar(d Desc, ls Labels, w *stats.Welford) {
+	d.Kind = Summary
+	if d.Unit == "" {
+		d.Unit = "seconds"
+	}
+	m := r.add(d, ls)
+	m.sumPtr = w
+	m.scale = 1e-9
 }
 
 // Families returns every family sorted by name (the documentation and
@@ -273,7 +410,7 @@ func (r *Registry) HistSeconds(d Desc, ls Labels, fn func() stats.Welford) {
 func (r *Registry) Families() []*Family {
 	out := make([]*Family, len(r.s.fams))
 	copy(out, r.s.fams)
-	sort.Slice(out, func(i, j int) bool { return out[i].Desc.Name < out[j].Desc.Name })
+	slices.SortFunc(out, func(a, b *Family) int { return cmp.Compare(a.Desc.Name, b.Desc.Name) })
 	return out
 }
 
@@ -316,10 +453,10 @@ func (r *Registry) SumInt(name string, sel ...Label) int64 {
 	}
 	var sum int64
 	for _, m := range f.instances {
-		if m.intFn == nil || !m.matches(sel) {
+		if !m.isInt() || !m.matches(sel) {
 			continue
 		}
-		sum += m.intFn()
+		sum += m.intVal()
 	}
 	return sum
 }
@@ -332,10 +469,10 @@ func (r *Registry) SumSeconds(name string, sel ...Label) time.Duration {
 	}
 	var sum time.Duration
 	for _, m := range f.instances {
-		if m.durFn == nil || !m.matches(sel) {
+		if !m.isDur() || !m.matches(sel) {
 			continue
 		}
-		sum += m.durFn()
+		sum += m.durVal()
 	}
 	return sum
 }
@@ -349,10 +486,10 @@ func (r *Registry) MaxSeconds(name string, sel ...Label) time.Duration {
 	}
 	var max time.Duration
 	for _, m := range f.instances {
-		if m.durFn == nil || !m.matches(sel) {
+		if !m.isDur() || !m.matches(sel) {
 			continue
 		}
-		if v := m.durFn(); v > max {
+		if v := m.durVal(); v > max {
 			max = v
 		}
 	}
@@ -388,7 +525,7 @@ func (r *Registry) Snapshot() []Point {
 	for _, f := range r.Families() {
 		insts := make([]*metric, len(f.instances))
 		copy(insts, f.instances)
-		sort.Slice(insts, func(i, j int) bool { return insts[i].key < insts[j].key })
+		slices.SortFunc(insts, func(a, b *metric) int { return cmp.Compare(a.key, b.key) })
 		for _, m := range insts {
 			out = append(out, m.points(f.Desc)...)
 		}
@@ -400,15 +537,15 @@ func (r *Registry) Snapshot() []Point {
 func (m *metric) points(d Desc) []Point {
 	base := Point{Name: d.Name, Labels: m.key, Unit: d.Unit, Kind: d.Kind}
 	switch {
-	case m.intFn != nil:
+	case m.isInt():
 		base.IsInt = true
-		base.Int = m.intFn()
+		base.Int = m.intVal()
 		return []Point{base}
-	case m.durFn != nil:
-		base.Float = m.durFn().Seconds()
+	case m.isDur():
+		base.Float = m.durVal().Seconds()
 		return []Point{base}
 	default:
-		w := m.sumFn()
+		w := m.sumVal()
 		mk := func(suffix, unit string, isInt bool, iv int64, fv float64) Point {
 			return Point{Name: d.Name + suffix, Labels: m.key, Unit: unit, Kind: d.Kind,
 				IsInt: isInt, Int: iv, Float: fv}

@@ -1,10 +1,11 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -82,10 +83,10 @@ func (s *Sampler) Sample(now time.Duration) {
 				s.colIdx[col.id()] = idx
 				vals = append(vals, nan())
 			}
-			if m.intFn != nil {
-				vals[idx] = float64(m.intFn())
+			if m.isInt() {
+				vals[idx] = float64(m.intVal())
 			} else {
-				vals[idx] = m.durFn().Seconds()
+				vals[idx] = m.durVal().Seconds()
 			}
 		}
 	}
@@ -130,12 +131,12 @@ func (s *Sampler) sortedCols() []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ca, cb := s.cols[idx[a]], s.cols[idx[b]]
-		if ca.name != cb.name {
-			return ca.name < cb.name
+	slices.SortFunc(idx, func(a, b int) int {
+		ca, cb := s.cols[a], s.cols[b]
+		if c := cmp.Compare(ca.name, cb.name); c != 0 {
+			return c
 		}
-		return ca.labels < cb.labels
+		return cmp.Compare(ca.labels, cb.labels)
 	})
 	return idx
 }

@@ -1,8 +1,6 @@
 package netsim
 
 import (
-	"time"
-
 	"spritefs/internal/metrics"
 )
 
@@ -13,25 +11,23 @@ import (
 // category.
 func (n *Network) RegisterMetrics(r *metrics.Registry) {
 	for c := Class(0); c < NumClasses; c++ {
-		c := c
 		ls := metrics.Labels{metrics.L("class", c.String())}
-		r.Int(metrics.Desc{Name: "spritefs_net_bytes_total", Unit: "bytes",
+		r.IntVar(metrics.Desc{Name: "spritefs_net_bytes_total", Unit: "bytes",
 			Help: "Bytes crossing the wire, by traffic class (Table 7's breakdown).",
 			Kind: metrics.Counter},
-			ls, func() int64 { return n.total.Bytes[c] })
-		r.Int(metrics.Desc{Name: "spritefs_net_ops_total", Unit: "ops",
+			ls, &n.total.Bytes[c])
+		r.IntVar(metrics.Desc{Name: "spritefs_net_ops_total", Unit: "ops",
 			Help: "RPCs issued, by traffic class.",
 			Kind: metrics.Counter},
-			ls, func() int64 { return n.total.Ops[c] })
+			ls, &n.total.Ops[c])
 	}
-	r.Seconds(metrics.Desc{Name: "spritefs_net_busy_seconds",
+	r.SecondsVar(metrics.Desc{Name: "spritefs_net_busy_seconds",
 		Help: "Cumulative wire-busy time; divided by elapsed virtual time it gives the paper's ~4% Ethernet utilization check.",
 		Kind: metrics.Counter},
-		nil, func() time.Duration { return n.busy })
+		nil, &n.busy)
 
 	fctr := func(name, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: "ops", Help: help, Kind: metrics.Counter},
-			nil, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: "ops", Help: help, Kind: metrics.Counter}, nil, v)
 	}
 	fctr("spritefs_net_fault_dropped_ops_total",
 		"RPCs that lost at least one packet to an injected drop window or partition.", &n.faults.DroppedOps)
@@ -39,8 +35,8 @@ func (n *Network) RegisterMetrics(r *metrics.Registry) {
 		"Total packet retransmissions forced by injected faults.", &n.faults.Retransmit)
 	fctr("spritefs_net_fault_stalled_ops_total",
 		"RPCs that incurred fault-induced extra delay.", &n.faults.StalledOps)
-	r.Seconds(metrics.Desc{Name: "spritefs_net_fault_stall_seconds",
+	r.SecondsVar(metrics.Desc{Name: "spritefs_net_fault_stall_seconds",
 		Help: "Total extra latency added by injected faults (partition waits, retransmission timeouts, delay windows).",
 		Kind: metrics.Counter},
-		nil, func() time.Duration { return n.faults.StallTime })
+		nil, &n.faults.StallTime)
 }

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -296,7 +296,7 @@ func (n *Network) Clients() []int32 {
 				out = append(out, id)
 			}
 		}
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		slices.Sort(out)
 	}
 	return out
 }

@@ -26,7 +26,7 @@ package replay
 import (
 	"errors"
 	"io"
-	"sort"
+	"slices"
 	"time"
 
 	"spritefs/internal/client"
@@ -316,7 +316,7 @@ func (e *Engine) sortedIDs() []int32 {
 	for id := range e.clients {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

@@ -1,6 +1,8 @@
 package scale
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"spritefs/internal/sim"
@@ -83,12 +85,11 @@ func newRing(sites int) hashRing {
 			pts = append(pts, ringPoint{point: hash64(uint64(s)<<20 | uint64(v)), site: int32(s)})
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool {
-		a, b := pts[i], pts[j]
-		if a.point != b.point {
-			return a.point < b.point
+	slices.SortFunc(pts, func(a, b ringPoint) int {
+		if c := cmp.Compare(a.point, b.point); c != 0 {
+			return c
 		}
-		return a.site < b.site // 64-bit collisions are ~impossible; break ties anyway
+		return cmp.Compare(a.site, b.site) // 64-bit collisions are ~impossible; break ties anyway
 	})
 	return hashRing{points: pts}
 }

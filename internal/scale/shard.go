@@ -1,9 +1,10 @@
 package scale
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"spritefs/internal/cluster"
@@ -278,15 +279,14 @@ func (sh *Shard) enqueue(msgs []*Message) {
 		return
 	}
 	sh.inbox = append(sh.inbox, msgs...)
-	sort.Slice(sh.inbox, func(i, j int) bool {
-		a, b := sh.inbox[i], sh.inbox[j]
-		if a.Arrive != b.Arrive {
-			return a.Arrive < b.Arrive
+	slices.SortFunc(sh.inbox, func(a, b *Message) int {
+		if c := cmp.Compare(a.Arrive, b.Arrive); c != 0 {
+			return c
 		}
-		if a.From != b.From {
-			return a.From < b.From
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return a.Seq < b.Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 }
 

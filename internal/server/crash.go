@@ -12,7 +12,7 @@ package server
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -34,14 +34,10 @@ type CrashOutcome struct {
 func (s *Server) Crash(now time.Duration) CrashOutcome {
 	var out CrashOutcome
 	for _, f := range s.files {
-		for _, n := range f.readers {
-			out.OpensDropped += n
+		for i := range f.openers {
+			out.OpensDropped += int(f.openers[i].reads) + int(f.openers[i].writes)
 		}
-		for _, n := range f.writers {
-			out.OpensDropped += n
-		}
-		f.readers = make(map[int32]int)
-		f.writers = make(map[int32]int)
+		f.openers = f.openers[:0]
 		f.lastWriter = NoClient
 		f.uncacheable = false
 	}
@@ -77,13 +73,9 @@ func (s *Server) Epoch() uint64 { return s.epoch }
 func (s *Server) Disconnect(client int32, now time.Duration) int {
 	dropped := 0
 	for _, f := range s.files {
-		if n := f.readers[client]; n > 0 {
-			dropped += n
-			delete(f.readers, client)
-		}
-		if n := f.writers[client]; n > 0 {
-			dropped += n
-			delete(f.writers, client)
+		if o := f.opener(client); o != nil {
+			dropped += int(o.reads) + int(o.writes)
+			f.removeOpener(client)
 		}
 		if f.lastWriter == client {
 			f.lastWriter = NoClient
@@ -111,15 +103,16 @@ func (s *Server) Recover(id uint64, client int32, readCount, writeCount int, now
 		// Deleted while the client was cut off; the client drops the handle.
 		return OpenReply{}, fmt.Errorf("server %d: recover of unknown file %#x", s.id, id)
 	}
-	if readCount > 0 {
-		f.readers[client] = readCount
+	if readCount > 0 || writeCount > 0 {
+		o := f.opener(client)
+		if o == nil {
+			f.openers = append(f.openers, opener{client: client})
+			o = &f.openers[len(f.openers)-1]
+		}
+		o.reads = int32(readCount)
+		o.writes = int32(writeCount)
 	} else {
-		delete(f.readers, client)
-	}
-	if writeCount > 0 {
-		f.writers[client] = writeCount
-	} else {
-		delete(f.writers, client)
+		f.removeOpener(client)
 	}
 	s.st.RecoveryOpens++
 
@@ -144,18 +137,16 @@ func (s *Server) Recover(id uint64, client int32, readCount, writeCount int, now
 // and must flush and bypass when write-sharing starts, sorted so the
 // disable sequence is deterministic.
 func (f *File) disableList(except int32) []int32 {
+	// Every openers entry has a positive read or write count, so the list
+	// is simply every opening client but the initiator (the same set the
+	// old reader/writer maps produced: readers plus writers-only clients).
 	var out []int32
-	for c := range f.readers {
-		if c != except {
+	for i := range f.openers {
+		if c := f.openers[i].client; c != except {
 			out = append(out, c)
 		}
 	}
-	for c := range f.writers {
-		if c != except && f.readers[c] == 0 {
-			out = append(out, c)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -163,7 +154,10 @@ func (f *File) disableList(except int32) []int32 {
 // client on this file (the server half of what the invariant checker
 // compares against client handle tables).
 func (f *File) Registration(client int32) (readers, writers int) {
-	return f.readers[client], f.writers[client]
+	if o := f.opener(client); o != nil {
+		return int(o.reads), int(o.writes)
+	}
+	return 0, 0
 }
 
 // FileIDs returns the ids of all live files in ascending order.
@@ -172,7 +166,7 @@ func (s *Server) FileIDs() []uint64 {
 	for id := range s.files {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

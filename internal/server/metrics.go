@@ -2,7 +2,6 @@ package server
 
 import (
 	"strconv"
-	"time"
 
 	"spritefs/internal/metrics"
 )
@@ -14,8 +13,7 @@ import (
 func (s *Server) RegisterMetrics(r *metrics.Registry) {
 	ls := metrics.Labels{metrics.L("server", strconv.Itoa(int(s.id)))}
 	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, ls, v)
 	}
 	ctr("spritefs_server_file_opens_total", "ops",
 		"Opens of regular files served (Table 10's denominator).", &s.st.FileOpens)
@@ -45,10 +43,10 @@ func (s *Server) RegisterMetrics(r *metrics.Registry) {
 		"Handle re-registrations served after restarts (the reopen storm).", &s.st.RecoveryOpens)
 	ctr("spritefs_server_recovery_cws_total", "ops",
 		"Concurrent write-sharing re-detected during recovery reopens.", &s.st.RecoveryCWS)
-	r.Seconds(metrics.Desc{Name: "spritefs_server_max_recovery_seconds",
+	r.SecondsVar(metrics.Desc{Name: "spritefs_server_max_recovery_seconds",
 		Help: "Longest crash-to-reconsistency interval observed: from crash until the slowest client finished the recovery protocol.",
 		Kind: metrics.Gauge},
-		ls, func() time.Duration { return s.st.MaxRecoveryTime })
+		ls, &s.st.MaxRecoveryTime)
 	r.Int(metrics.Desc{Name: "spritefs_server_epoch", Unit: "restarts",
 		Help: "Restart generation; clients compare it against the epoch they last saw to detect crashes.",
 		Kind: metrics.Gauge},
@@ -69,8 +67,7 @@ func (s *Server) RegisterMetrics(r *metrics.Registry) {
 // client caches never double-count server-side blocks).
 func (st *Storage) registerMetrics(r *metrics.Registry, ls metrics.Labels) {
 	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, ls, v)
 	}
 	ctr("spritefs_server_store_read_blocks_total", "blocks",
 		"Client block fetches served by the storage layer.", &st.st.ReadBlocks)
@@ -84,13 +81,13 @@ func (st *Storage) registerMetrics(r *metrics.Registry, ls metrics.Labels) {
 		"Disk write operations.", &st.st.DiskWrites)
 	ctr("spritefs_server_store_lost_dirty_bytes_total", "bytes",
 		"Server-cache bytes that were dirty (not yet on disk) when the server crashed.", &st.st.LostDirtyBytes)
-	r.Seconds(metrics.Desc{Name: "spritefs_server_store_disk_busy_seconds",
+	r.SecondsVar(metrics.Desc{Name: "spritefs_server_store_disk_busy_seconds",
 		Help: "Cumulative disk-busy time.",
 		Kind: metrics.Counter},
-		ls, func() time.Duration { return st.st.DiskBusy })
-	r.Seconds(metrics.Desc{Name: "spritefs_server_store_max_lost_dirty_age_seconds",
+		ls, &st.st.DiskBusy)
+	r.SecondsVar(metrics.Desc{Name: "spritefs_server_store_max_lost_dirty_age_seconds",
 		Help: "Age of the oldest dirty byte destroyed by a server crash.",
 		Kind: metrics.Gauge},
-		ls, func() time.Duration { return st.st.MaxLostDirtyAge })
+		ls, &st.st.MaxLostDirtyAge)
 	st.cache.RegisterMetrics(r, "spritefs_server_cache", ls)
 }

@@ -29,8 +29,13 @@ type File struct {
 	OldestByte time.Duration // creation time of current oldest byte (for lifetime accounting)
 	LastWrite  time.Duration
 
-	readers map[int32]int // client -> open-for-read count
-	writers map[int32]int // client -> open-for-write count
+	// openers holds one entry per client with the file open, in arrival
+	// order (consumers that need a deterministic order sort explicitly).
+	// Entries with zero counts are removed, so len(openers) is the number
+	// of opening clients. A compact slice replaces the previous pair of
+	// count maps: nearly every file has zero or one opener, and two map
+	// allocations per Create dominated the server's allocation profile.
+	openers []opener
 
 	// lastWriter is the client that most recently wrote the file and may
 	// still hold dirty data in its cache. The server does not know whether
@@ -43,19 +48,48 @@ type File struct {
 	uncacheable bool
 }
 
+// opener is one client's open registration on a file.
+type opener struct {
+	client int32
+	reads  int32 // open-for-read count
+	writes int32 // open-for-write count
+}
+
+// opener returns the registration entry for client, or nil.
+func (f *File) opener(client int32) *opener {
+	for i := range f.openers {
+		if f.openers[i].client == client {
+			return &f.openers[i]
+		}
+	}
+	return nil
+}
+
+// removeOpener drops client's (zeroed) registration entry.
+func (f *File) removeOpener(client int32) {
+	for i := range f.openers {
+		if f.openers[i].client == client {
+			last := len(f.openers) - 1
+			f.openers[i] = f.openers[last]
+			f.openers = f.openers[:last]
+			return
+		}
+	}
+}
+
 // Openers returns the number of clients with the file open.
-func (f *File) Openers() int {
-	n := len(f.readers)
-	for c := range f.writers {
-		if _, alsoReader := f.readers[c]; !alsoReader {
+func (f *File) Openers() int { return len(f.openers) }
+
+// WriterCount returns the number of clients with the file open for writing.
+func (f *File) WriterCount() int {
+	n := 0
+	for i := range f.openers {
+		if f.openers[i].writes > 0 {
 			n++
 		}
 	}
 	return n
 }
-
-// WriterCount returns the number of clients with the file open for writing.
-func (f *File) WriterCount() int { return len(f.writers) }
 
 // Uncacheable reports whether client caching is currently disabled.
 func (f *File) Uncacheable() bool { return f.uncacheable }
@@ -94,6 +128,10 @@ type Server struct {
 	files  map[uint64]*File
 	nextID uint64
 	st     Stats
+
+	// fileFree recycles File objects from Delete to the next
+	// Create/Install (see Delete's validity contract).
+	fileFree []*File
 
 	// epoch counts restarts; clients compare it against the epoch they
 	// last saw to detect that their open registrations died with the
@@ -180,6 +218,18 @@ func (s *Server) NumFiles() int { return len(s.files) }
 // Lookup returns the file with the given id, or nil.
 func (s *Server) Lookup(id uint64) *File { return s.files[id] }
 
+// takeFile pops a recycled File (pushed by Delete) or allocates a fresh
+// one, reset to the zero state with lastWriter cleared.
+func (s *Server) takeFile() *File {
+	if n := len(s.fileFree); n > 0 {
+		f := s.fileFree[n-1]
+		s.fileFree = s.fileFree[:n-1]
+		*f = File{openers: f.openers[:0], lastWriter: NoClient}
+		return f
+	}
+	return &File{lastWriter: NoClient}
+}
+
 // Create makes a new file (or directory) and returns it.
 func (s *Server) Create(directory bool, now time.Duration) *File {
 	// Skip over ids claimed by Install so replay bootstrap and live
@@ -187,16 +237,12 @@ func (s *Server) Create(directory bool, now time.Duration) *File {
 	for s.files[s.nextID] != nil {
 		s.nextID++
 	}
-	f := &File{
-		ID:         s.nextID,
-		Directory:  directory,
-		Created:    now,
-		OldestByte: now,
-		LastWrite:  now,
-		readers:    make(map[int32]int),
-		writers:    make(map[int32]int),
-		lastWriter: NoClient,
-	}
+	f := s.takeFile()
+	f.ID = s.nextID
+	f.Directory = directory
+	f.Created = now
+	f.OldestByte = now
+	f.LastWrite = now
 	s.nextID++
 	s.files[f.ID] = f
 	s.st.Creates++
@@ -213,17 +259,13 @@ func (s *Server) Install(id uint64, size int64, directory bool, now time.Duratio
 	if f := s.files[id]; f != nil {
 		return f
 	}
-	f := &File{
-		ID:         id,
-		Size:       size,
-		Directory:  directory,
-		Created:    now,
-		OldestByte: now,
-		LastWrite:  now,
-		readers:    make(map[int32]int),
-		writers:    make(map[int32]int),
-		lastWriter: NoClient,
-	}
+	f := s.takeFile()
+	f.ID = id
+	f.Size = size
+	f.Directory = directory
+	f.Created = now
+	f.OldestByte = now
+	f.LastWrite = now
 	s.files[id] = f
 	return f
 }
@@ -297,10 +339,15 @@ func (s *Server) Open(id uint64, client int32, write bool, now time.Duration) (O
 }
 
 func (f *File) addOpen(client int32, write bool) {
+	o := f.opener(client)
+	if o == nil {
+		f.openers = append(f.openers, opener{client: client})
+		o = &f.openers[len(f.openers)-1]
+	}
 	if write {
-		f.writers[client]++
+		o.writes++
 	} else {
-		f.readers[client]++
+		o.reads++
 	}
 }
 
@@ -316,16 +363,17 @@ func (s *Server) Close(id uint64, client int32, write, dirty bool, now time.Dura
 		// The file was deleted while open; Sprite allows this.
 		return nil
 	}
-	m := f.readers
-	if write {
-		m = f.writers
-	}
-	if m[client] <= 0 {
+	o := f.opener(client)
+	if o == nil || (write && o.writes <= 0) || (!write && o.reads <= 0) {
 		return fmt.Errorf("server %d: close without open (file %#x client %d write %v)", s.id, id, client, write)
 	}
-	m[client]--
-	if m[client] == 0 {
-		delete(m, client)
+	if write {
+		o.writes--
+	} else {
+		o.reads--
+	}
+	if o.reads == 0 && o.writes == 0 {
+		f.removeOpener(client)
 	}
 	if write && dirty && !f.uncacheable {
 		f.lastWriter = client
@@ -392,7 +440,10 @@ func (s *Server) Grow(id uint64, newSize int64, now time.Duration) {
 }
 
 // Delete removes the file. It returns the file's final state for lifetime
-// accounting (nil if unknown).
+// accounting (nil if unknown). The returned File is recycled: it is valid
+// only until this server's next Create or Install, so callers must read
+// what they need before creating files (every caller consumes it on the
+// spot).
 func (s *Server) Delete(id uint64, now time.Duration) *File {
 	f := s.files[id]
 	if f == nil {
@@ -403,6 +454,7 @@ func (s *Server) Delete(id uint64, now time.Duration) *File {
 	if s.Store != nil {
 		s.Store.Drop(id)
 	}
+	s.fileFree = append(s.fileFree, f)
 	return f
 }
 

@@ -100,9 +100,10 @@ func TestRecoverIsIdempotent(t *testing.T) {
 		if _, err := s.Recover(f.ID, 1, 0, 1, 2*time.Second); err != nil {
 			t.Fatal(err)
 		}
-		if f.Openers() != 1 || f.WriterCount() != 1 || f.writers[1] != 1 {
+		_, w := f.Registration(1)
+		if f.Openers() != 1 || f.WriterCount() != 1 || w != 1 {
 			t.Fatalf("after recover #%d: openers=%d writers=%d count=%d",
-				i+1, f.Openers(), f.WriterCount(), f.writers[1])
+				i+1, f.Openers(), f.WriterCount(), w)
 		}
 	}
 	if got := s.Stats().RecoveryOpens; got != 2 {

@@ -180,16 +180,22 @@ func (w *wheel) unlink(i int32) {
 	}
 }
 
-// scanList folds a slot list into the running minimum.
+// scanList folds a slot list into the running minimum, carrying the
+// current minimum's key in registers rather than re-reading the pool.
 func (w *wheel) scanList(head, best int32) int32 {
-	for i := head; i >= 0; i = w.pool[i].next {
-		if best < 0 {
-			best = i
-			continue
-		}
-		e, b := &w.pool[i], &w.pool[best]
-		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
-			best = i
+	if head < 0 {
+		return best
+	}
+	pool := w.pool
+	var bestAt Time
+	var bestSeq uint64
+	if best >= 0 {
+		bestAt, bestSeq = pool[best].at, pool[best].seq
+	}
+	for i := head; i >= 0; i = pool[i].next {
+		e := &pool[i]
+		if best < 0 || e.at < bestAt || (e.at == bestAt && e.seq < bestSeq) {
+			best, bestAt, bestSeq = i, e.at, e.seq
 		}
 	}
 	return best

@@ -8,20 +8,18 @@ import "spritefs/internal/metrics"
 // paging rows of Tables 5 and 7.
 func (s *System) RegisterMetrics(r *metrics.Registry, ls metrics.Labels) {
 	for c := PageClass(0); c < NumPageClasses; c++ {
-		c := c
 		cls := append(append(metrics.Labels{}, ls...), metrics.L("class", c.String()))
-		r.Int(metrics.Desc{Name: "spritefs_vm_paged_in_bytes_total", Unit: "bytes",
+		r.IntVar(metrics.Desc{Name: "spritefs_vm_paged_in_bytes_total", Unit: "bytes",
 			Help: "Bytes paged in, by page class: code and init-data arrive through the file cache, heap and stack from backing files (Table 5 paging rows).",
 			Kind: metrics.Counter},
-			cls, func() int64 { return s.st.BytesIn[c] })
-		r.Int(metrics.Desc{Name: "spritefs_vm_paged_out_bytes_total", Unit: "bytes",
+			cls, &s.st.BytesIn[c])
+		r.IntVar(metrics.Desc{Name: "spritefs_vm_paged_out_bytes_total", Unit: "bytes",
 			Help: "Bytes paged out to backing files, by page class (Table 5 backing-write row).",
 			Kind: metrics.Counter},
-			cls, func() int64 { return s.st.BytesOut[c] })
+			cls, &s.st.BytesOut[c])
 	}
 	ctr := func(name, unit, help string, v *int64) {
-		r.Int(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter},
-			ls, func() int64 { return *v })
+		r.IntVar(metrics.Desc{Name: name, Unit: unit, Help: help, Kind: metrics.Counter}, ls, v)
 	}
 	ctr("spritefs_vm_evictions_total", "pages",
 		"Pages evicted under memory pressure.", &s.st.Evictions)

@@ -64,6 +64,11 @@ type Engine struct {
 
 	nextPid int32
 	pidProg map[int32]*program
+	// progFree recycles finished program objects (and their handle/file
+	// slot arrays and step closures); the engine launches hundreds of
+	// thousands of short programs per simulated hour, so per-launch
+	// allocation is a hot path.
+	progFree []*program
 	// prevOutput maps (user, app) to the output file of the user's last
 	// run of the app, deleted by the next run (opDeletePrev).
 	prevOutput map[outKey]uint64
@@ -400,20 +405,24 @@ func (e *Engine) runPmake(u *userState, cont func()) {
 // bookkeeping. It returns the program so callers can read results
 // (created-file slots) from their done callbacks; the first op always
 // charges exec overhead, so done can never fire before launch returns.
+// The program object is recycled after its done callback returns, so it
+// must not be read after that point.
 func (e *Engine) launch(u *userState, app AppKind, host Host, ops []op, rate float64, migrated bool, done func()) *program {
 	e.nextPid++
-	pr := &program{
-		user:     u.id,
-		pid:      e.nextPid,
-		app:      app,
-		host:     host,
-		rate:     rate,
-		migrated: migrated,
-		ops:      ops,
-		handles:  make([]uint64, countSlots(ops)),
-		files:    make([]uint64, countFileSlots(ops)),
-		done:     done,
-	}
+	pr := e.takeProgram()
+	pr.user = u.id
+	pr.pid = e.nextPid
+	pr.app = app
+	pr.host = host
+	pr.rate = rate
+	pr.migrated = migrated
+	pr.execFile, pr.codeP, pr.dataP, pr.stackP = 0, 0, 0, 0
+	pr.ops = ops
+	pr.idx = 0
+	pr.handles = resizeZero(pr.handles, countSlots(ops))
+	pr.files = resizeZero(pr.files, countFileSlots(ops))
+	pr.aborted = false
+	pr.done = done
 	e.pidProg[pr.pid] = pr
 	e.st.ProgramsRun++
 	e.st.RunsByApp[app]++
@@ -426,6 +435,33 @@ func (e *Engine) launch(u *userState, app AppKind, host Host, ops []op, rate flo
 	}
 	e.step(pr)
 	return pr
+}
+
+// takeProgram pops a recycled program object or builds a fresh one. The
+// per-program step closure is allocated exactly once per object and
+// survives recycling.
+func (e *Engine) takeProgram() *program {
+	if n := len(e.progFree); n > 0 {
+		pr := e.progFree[n-1]
+		e.progFree = e.progFree[:n-1]
+		return pr
+	}
+	pr := &program{}
+	pr.stepFn = func() { e.step(pr) }
+	return pr
+}
+
+// resizeZero returns s resized to n zeroed entries, reusing its backing
+// array when it is large enough.
+func resizeZero(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 func countSlots(ops []op) int {
@@ -466,7 +502,7 @@ func (e *Engine) step(pr *program) {
 		}
 		e.st.OpsExecuted++
 		if delay > 0 {
-			e.sim.After(delay, func() { e.step(pr) })
+			e.sim.After(delay, pr.stepFn)
 			return
 		}
 	}
@@ -620,9 +656,17 @@ func (e *Engine) teardown(pr *program) {
 
 func (e *Engine) finish(pr *program) {
 	delete(e.pidProg, pr.pid)
-	if pr.done != nil {
-		pr.done()
+	done := pr.done
+	pr.done = nil
+	if done != nil {
+		done()
 	}
+	// Recycle only after done has returned: done closures read created-file
+	// slots (pr.files) and may launch follow-on programs, which must not
+	// reuse this object while the callback can still see it.
+	pr.ops = nil
+	pr.host = nil
+	e.progFree = append(e.progFree, pr)
 }
 
 // handleEvictions relocates migrated processes whose host's owner

@@ -20,26 +20,25 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 		Help: "Bytes written by community programs, by application kind.",
 		Kind: metrics.Counter}
 	for a := AppKind(0); a < NumApps; a++ {
-		a := a
 		ls := metrics.Labels{metrics.L("app", a.String())}
-		r.Int(progs, ls, func() int64 { return e.st.RunsByApp[a] })
-		r.Int(reads, ls, func() int64 { return e.st.ReadByApp[a] })
-		r.Int(writes, ls, func() int64 { return e.st.WriteByApp[a] })
+		r.IntVar(progs, ls, &e.st.RunsByApp[a])
+		r.IntVar(reads, ls, &e.st.ReadByApp[a])
+		r.IntVar(writes, ls, &e.st.WriteByApp[a])
 	}
-	r.Int(metrics.Desc{Name: "spritefs_workload_sessions_total", Unit: "sessions",
+	r.IntVar(metrics.Desc{Name: "spritefs_workload_sessions_total", Unit: "sessions",
 		Help: "Login sessions started by community users.",
 		Kind: metrics.Counter},
-		nil, func() int64 { return e.st.SessionsRun })
-	r.Int(metrics.Desc{Name: "spritefs_workload_migrations_total", Unit: "migrations",
+		nil, &e.st.SessionsRun)
+	r.IntVar(metrics.Desc{Name: "spritefs_workload_migrations_total", Unit: "migrations",
 		Help: "Programs farmed to another workstation via process migration.",
 		Kind: metrics.Counter},
-		nil, func() int64 { return e.st.Migrations })
-	r.Int(metrics.Desc{Name: "spritefs_workload_evictions_total", Unit: "evictions",
+		nil, &e.st.Migrations)
+	r.IntVar(metrics.Desc{Name: "spritefs_workload_evictions_total", Unit: "evictions",
 		Help: "Migrated programs evicted when their host's owner returned.",
 		Kind: metrics.Counter},
-		nil, func() int64 { return e.st.Evictions })
-	r.Int(metrics.Desc{Name: "spritefs_workload_aborted_ops_total", Unit: "ops",
+		nil, &e.st.Evictions)
+	r.IntVar(metrics.Desc{Name: "spritefs_workload_aborted_ops_total", Unit: "ops",
 		Help: "Program operations skipped after an unrecoverable error (e.g. open of a deleted file).",
 		Kind: metrics.Counter},
-		nil, func() int64 { return e.st.AbortedOps })
+		nil, &e.st.AbortedOps)
 }

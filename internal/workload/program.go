@@ -240,4 +240,8 @@ type program struct {
 	files   []uint64
 	aborted bool
 	done    func()
+	// stepFn is the engine-step closure for this program, allocated once
+	// when the program object is created and reused across recycles so
+	// rescheduling a step allocates nothing.
+	stepFn func()
 }
